@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the local ready queues: EDF/FCFS/SJF push–pop
+//! churn and the O(n) targeted removal used by abortion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sda_sched::{Policy, QueuedTask, ReadyQueue};
+use sda_simcore::rng::Rng;
+use sda_simcore::SimTime;
+
+fn filled_queue(policy: Policy, n: usize, seed: u64) -> ReadyQueue<u64> {
+    let mut rng = Rng::seed_from(seed);
+    let mut q = ReadyQueue::new(policy);
+    for i in 0..n as u64 {
+        q.push(QueuedTask::new(
+            SimTime::from(rng.next_f64() * 1000.0),
+            rng.next_f64() * 4.0,
+            i,
+        ));
+    }
+    q
+}
+
+/// Steady-state churn: push one, pop one, at a given queue depth.
+fn queue_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_churn");
+    for policy in [Policy::Edf, Policy::Fcfs, Policy::Sjf] {
+        for depth in [16usize, 256] {
+            group.bench_with_input(
+                BenchmarkId::new(policy.to_string(), depth),
+                &depth,
+                |b, &depth| {
+                    let mut q = filled_queue(policy, depth, 42);
+                    let mut rng = Rng::seed_from(43);
+                    let mut i = depth as u64;
+                    b.iter(|| {
+                        q.push(QueuedTask::new(
+                            SimTime::from(rng.next_f64() * 1000.0),
+                            rng.next_f64() * 4.0,
+                            i,
+                        ));
+                        i += 1;
+                        black_box(q.pop());
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Targeted removal (the abortion path) at several queue depths.
+fn queue_remove_by(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_remove_by");
+    for depth in [16usize, 256, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter_batched(
+                || filled_queue(Policy::Edf, depth, 44),
+                |mut q| {
+                    let target = (depth / 2) as u64;
+                    black_box(q.remove_by(|&id| id == target));
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, queue_churn, queue_remove_by);
+criterion_main!(benches);

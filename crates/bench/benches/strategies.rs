@@ -1,0 +1,87 @@
+//! Micro-benchmarks of the deadline-assignment strategies and the SDA
+//! decomposition runtime — the per-task overhead the paper's process
+//! manager would pay on-line.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use sda_core::{Decomposition, EstimationModel, PspStrategy, SdaStrategy, SspStrategy};
+use sda_model::TaskSpec;
+use sda_simcore::rng::Rng;
+use sda_simcore::SimTime;
+
+fn psp_assign(c: &mut Criterion) {
+    let ar = SimTime::from(10.0);
+    let dl = SimTime::from(25.0);
+    let mut group = c.benchmark_group("psp_assign");
+    for (label, strategy) in [
+        ("ud", PspStrategy::Ud),
+        ("div1", PspStrategy::div(1.0)),
+        ("gf", PspStrategy::gf()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(strategy.assign(black_box(ar), black_box(dl), black_box(4))));
+        });
+    }
+    group.finish();
+}
+
+fn ssp_assign(c: &mut Criterion) {
+    let now = SimTime::from(3.0);
+    let dl = SimTime::from(40.0);
+    let pex = [1.0, 2.0, 0.5, 3.0, 1.5];
+    let mut group = c.benchmark_group("ssp_assign");
+    for ssp in SspStrategy::ALL {
+        group.bench_function(ssp.label(), |b| {
+            b.iter(|| black_box(ssp.assign(black_box(now), black_box(dl), black_box(&pex))));
+        });
+    }
+    group.finish();
+}
+
+/// Full Figure 14 decomposition walk: build, start, and complete all 11
+/// leaves — the complete per-global-task overhead of the process manager.
+fn decomposition_walk(c: &mut Criterion) {
+    let spec = TaskSpec::pipeline_with_fanout(5, &[(1, 4), (3, 4)]);
+    let strategy = SdaStrategy::eqf_div1();
+    c.bench_function("decomposition_figure14_full_walk", |b| {
+        b.iter_batched(
+            || Decomposition::new(&spec, vec![1.0; 11]),
+            |mut d| {
+                let mut pending = d.start(SimTime::ZERO, SimTime::from(30.0), &strategy);
+                let mut now = 0.0;
+                while let Some(r) = pending.pop() {
+                    now += 0.5;
+                    pending.extend(d.complete_leaf(r.leaf, SimTime::from(now), &strategy));
+                }
+                black_box(d.is_finished())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn estimation(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(5);
+    let model = EstimationModel::uniform_factor(2.0);
+    c.bench_function("estimation_uniform_factor", |b| {
+        b.iter(|| black_box(model.predict(black_box(1.7), &mut rng)));
+    });
+}
+
+fn spec_parse(c: &mut Criterion) {
+    let text = "[T1 [T2 || T3 || T4 || T5] T6 [T7 || T8 || T9 || T10] T11]";
+    c.bench_function("parse_figure14_notation", |b| {
+        b.iter(|| black_box(sda_model::parse_spec(black_box(text)).expect("valid")));
+    });
+}
+
+criterion_group!(
+    benches,
+    psp_assign,
+    ssp_assign,
+    decomposition_walk,
+    estimation,
+    spec_parse
+);
+criterion_main!(benches);

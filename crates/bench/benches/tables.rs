@@ -1,0 +1,80 @@
+//! Macro-benchmarks for the paper's tables, the in-text checkpoints, and
+//! the ablations: the non-figure artifacts of the evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use sda_experiments::{ablations, checkpoints, tables, Scale};
+
+fn table_benches(c: &mut Criterion) {
+    c.bench_function("table1_render", |b| b.iter(|| black_box(tables::table1())));
+    c.bench_function("table2_render", |b| b.iter(|| black_box(tables::table2())));
+}
+
+fn checkpoint_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoints");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
+    group.bench_function("section6_and_7_quick", |b| {
+        b.iter(|| black_box(checkpoints::run(Scale::Quick)))
+    });
+    group.finish();
+}
+
+fn ablation_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations_quick_scale");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
+    group.bench_function("a1_local_abort", |b| {
+        b.iter(|| black_box(ablations::local_abort(Scale::Quick)))
+    });
+    group.bench_function("a2_sched_policies", |b| {
+        b.iter(|| black_box(ablations::sched_policies(Scale::Quick)))
+    });
+    group.bench_function("a3_ssp_family", |b| {
+        b.iter(|| black_box(ablations::ssp_family(Scale::Quick)))
+    });
+    group.bench_function("a4_pex_error", |b| {
+        b.iter(|| black_box(ablations::pex_error(Scale::Quick)))
+    });
+    group.bench_function("a5_gf_delta", |b| {
+        b.iter(|| black_box(ablations::gf_delta(Scale::Quick)))
+    });
+    group.bench_function("a6_heterogeneous", |b| {
+        b.iter(|| black_box(ablations::heterogeneous_nodes(Scale::Quick)))
+    });
+    group.bench_function("a7_preemption", |b| {
+        b.iter(|| black_box(ablations::preemption(Scale::Quick)))
+    });
+    group.bench_function("a8_service_shapes", |b| {
+        b.iter(|| black_box(ablations::service_shapes(Scale::Quick)))
+    });
+    group.finish();
+}
+
+fn extension_benches(c: &mut Criterion) {
+    use sda_experiments::extensions;
+    let mut group = c.benchmark_group("extensions_quick_scale");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
+    group.bench_function("e1_stage_sweep", |b| {
+        b.iter(|| black_box(extensions::stage_sweep(Scale::Quick)))
+    });
+    group.bench_function("e2_slack_sweep", |b| {
+        b.iter(|| black_box(extensions::slack_sweep(Scale::Quick)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    table_benches,
+    checkpoint_benches,
+    ablation_benches,
+    extension_benches
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! # sda-bench — criterion benchmarks
+//!
+//! Two layers of benches:
+//!
+//! * **micro** (`engine`, `scheduler`, `strategies`): the hot paths of the
+//!   simulation substrate — event calendar churn, EDF queue operations,
+//!   deadline-assignment arithmetic, SDA decomposition walks;
+//! * **macro** (`figures`, `tables`): per-figure regeneration benches that
+//!   run the same harness code as the `sda-experiments` binaries at
+//!   [`sda_experiments::Scale::Quick`], so `cargo bench` literally
+//!   regenerates every table and figure (at reduced scale) while timing it.
+//!
+//! Shared helpers live here.
+
+use sda_sim::{RunResult, SimConfig};
+
+/// A single-point simulation run sized for benchmarking (one seed,
+/// 10,000 time units), used by the per-figure point benches.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn bench_run(cfg: &SimConfig) -> RunResult {
+    let cfg = SimConfig {
+        duration: 10_000.0,
+        warmup: 100.0,
+        ..cfg.clone()
+    };
+    sda_sim::run(&cfg, 1).expect("bench config must be valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_run_is_sized_down() {
+        let r = bench_run(&SimConfig::baseline());
+        assert!(r.events > 10_000);
+        assert_eq!(r.duration, 10_000.0);
+    }
+}

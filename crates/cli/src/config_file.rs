@@ -1,0 +1,334 @@
+//! The plain-text configuration format: one `key = value` per line,
+//! `#` comments, blank lines ignored. Settings map onto
+//! [`sda_sim::SimConfig`] fields; the same `key=value` syntax is accepted
+//! as inline command-line overrides.
+
+use std::fmt;
+use std::path::Path;
+
+use sda_sched::Policy;
+use sda_sim::{ServiceShape, SimConfig};
+
+use crate::parse::{parse_abort, parse_estimation, parse_range, parse_shape, parse_strategy};
+
+/// Error from loading or applying configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigFileError {
+    /// The file could not be read.
+    Io(String),
+    /// A line was not `key = value`.
+    Syntax {
+        /// 1-based line number (0 for command-line overrides).
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A key is not a known setting.
+    UnknownKey(String),
+    /// A value failed to parse; the message names the problem.
+    BadValue {
+        /// The setting.
+        key: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ConfigFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigFileError::Io(e) => write!(f, "cannot read config: {e}"),
+            ConfigFileError::Syntax { line, text } => {
+                write!(f, "line {line}: expected `key = value`, got {text:?}")
+            }
+            ConfigFileError::UnknownKey(key) => write!(f, "unknown setting {key:?}"),
+            ConfigFileError::BadValue { key, message } => {
+                write!(f, "bad value for {key}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigFileError {}
+
+fn bad(key: &str) -> impl Fn(String) -> ConfigFileError + '_ {
+    move |message| ConfigFileError::BadValue {
+        key: key.to_string(),
+        message,
+    }
+}
+
+fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, ConfigFileError> {
+    value.trim().parse().map_err(|_| ConfigFileError::BadValue {
+        key: key.to_string(),
+        message: format!("not a number: {value:?}"),
+    })
+}
+
+/// Applies one `key = value` setting to a configuration.
+///
+/// Supported keys: `nodes`, `load`, `frac_local`, `mu_local`,
+/// `mu_subtask`, `slack` (local slack, `LO..HI`), `global_slack`,
+/// `shape`, `strategy`, `scheduler` (`edf|fcfs|sjf|llf`), `preemptive`
+/// (`true|false`), `speeds` (comma-separated), `service_shape`
+/// (`exponential|deterministic|uniform`), `placement`
+/// (`random|least-loaded`), `burst` (`none` or
+/// `PERIOD,ON_FRACTION,BOOST`), `abort`, `estimation`, `duration`,
+/// `warmup`.
+///
+/// # Errors
+///
+/// Returns [`ConfigFileError`] for unknown keys and malformed values.
+pub fn apply_setting(cfg: &mut SimConfig, key: &str, value: &str) -> Result<(), ConfigFileError> {
+    let key = key.trim();
+    let value = value.trim();
+    match key {
+        "nodes" => cfg.nodes = num(key, value)?,
+        "load" => cfg.load = num(key, value)?,
+        "frac_local" => cfg.frac_local = num(key, value)?,
+        "mu_local" => cfg.mu_local = num(key, value)?,
+        "mu_subtask" => cfg.mu_subtask = num(key, value)?,
+        "duration" => cfg.duration = num(key, value)?,
+        "warmup" => cfg.warmup = num(key, value)?,
+        "slack" => {
+            let r = parse_range(value).map_err(bad(key))?;
+            cfg.local_slack = r;
+        }
+        "global_slack" => {
+            cfg.global_slack = parse_range(value).map_err(bad(key))?;
+        }
+        "shape" => cfg.shape = parse_shape(value).map_err(bad(key))?,
+        "strategy" => cfg.strategy = parse_strategy(value).map_err(bad(key))?,
+        "abort" => cfg.abort = parse_abort(value).map_err(bad(key))?,
+        "estimation" => cfg.estimation = parse_estimation(value).map_err(bad(key))?,
+        "scheduler" => {
+            cfg.scheduler = match value.to_ascii_lowercase().as_str() {
+                "edf" => Policy::Edf,
+                "fcfs" => Policy::Fcfs,
+                "sjf" => Policy::Sjf,
+                "llf" => Policy::Llf,
+                other => {
+                    return Err(ConfigFileError::BadValue {
+                        key: key.to_string(),
+                        message: format!("unknown scheduler {other:?}"),
+                    })
+                }
+            }
+        }
+        "preemptive" => {
+            cfg.preemptive = match value.to_ascii_lowercase().as_str() {
+                "true" | "yes" | "1" => true,
+                "false" | "no" | "0" => false,
+                other => {
+                    return Err(ConfigFileError::BadValue {
+                        key: key.to_string(),
+                        message: format!("expected true/false, got {other:?}"),
+                    })
+                }
+            }
+        }
+        "speeds" => {
+            let speeds: Result<Vec<f64>, _> =
+                value.split(',').map(|s| num::<f64>(key, s)).collect();
+            cfg.node_speeds = speeds?;
+        }
+        "burst" => {
+            if value.eq_ignore_ascii_case("none") {
+                cfg.burst = None;
+            } else {
+                let parts: Vec<&str> = value.split(',').map(str::trim).collect();
+                let [period, on_fraction, boost] = parts.as_slice() else {
+                    return Err(ConfigFileError::BadValue {
+                        key: key.to_string(),
+                        message: format!(
+                            "expected `none` or `PERIOD,ON_FRACTION,BOOST`, got {value:?}"
+                        ),
+                    });
+                };
+                let burst = sda_sim::Burst {
+                    period: num(key, period)?,
+                    on_fraction: num(key, on_fraction)?,
+                    boost: num(key, boost)?,
+                };
+                burst.validate().map_err(bad(key))?;
+                cfg.burst = Some(burst);
+            }
+        }
+        "placement" => {
+            cfg.placement = match value.to_ascii_lowercase().as_str() {
+                "random" | "random-distinct" => sda_sim::Placement::RandomDistinct,
+                "least-loaded" | "jsq" => sda_sim::Placement::LeastLoaded,
+                other => {
+                    return Err(ConfigFileError::BadValue {
+                        key: key.to_string(),
+                        message: format!("unknown placement {other:?}"),
+                    })
+                }
+            }
+        }
+        "service_shape" => {
+            cfg.service_shape = match value.to_ascii_lowercase().as_str() {
+                "exponential" | "exp" => ServiceShape::Exponential,
+                "deterministic" | "constant" => ServiceShape::Deterministic,
+                "uniform" => ServiceShape::UniformSpread,
+                other => {
+                    return Err(ConfigFileError::BadValue {
+                        key: key.to_string(),
+                        message: format!("unknown service shape {other:?}"),
+                    })
+                }
+            }
+        }
+        _ => return Err(ConfigFileError::UnknownKey(key.to_string())),
+    }
+    Ok(())
+}
+
+/// Parses configuration text (the file format) on top of the baseline
+/// configuration.
+///
+/// # Errors
+///
+/// Returns the first syntax or value error, with its line number.
+pub fn parse_config_text(text: &str) -> Result<SimConfig, ConfigFileError> {
+    let mut cfg = SimConfig::baseline();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or(ConfigFileError::Syntax {
+            line: i + 1,
+            text: raw.to_string(),
+        })?;
+        apply_setting(&mut cfg, key, value)?;
+    }
+    Ok(cfg)
+}
+
+/// Loads a configuration file.
+///
+/// # Errors
+///
+/// Returns an I/O error or the first parse error.
+pub fn load_config(path: &Path) -> Result<SimConfig, ConfigFileError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ConfigFileError::Io(e.to_string()))?;
+    parse_config_text(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sda_core::SdaStrategy;
+    use sda_sim::GlobalShape;
+
+    #[test]
+    fn parses_a_full_config() {
+        let text = "\
+# the §8 experiment
+nodes        = 6
+load         = 0.6      # intermediate load
+frac_local   = 0.75
+shape        = figure14
+strategy     = EQF-DIV1
+global_slack = 6.25..25
+duration     = 50000
+warmup       = 500
+";
+        let cfg = parse_config_text(text).unwrap();
+        assert_eq!(cfg.nodes, 6);
+        assert_eq!(cfg.load, 0.6);
+        assert_eq!(cfg.shape, GlobalShape::figure14());
+        assert_eq!(cfg.strategy, SdaStrategy::eqf_div1());
+        assert_eq!((cfg.global_slack.lo(), cfg.global_slack.hi()), (6.25, 25.0));
+        assert_eq!(cfg.duration, 50_000.0);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn defaults_are_the_baseline() {
+        let cfg = parse_config_text("").unwrap();
+        assert_eq!(cfg, SimConfig::baseline());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let cfg = parse_config_text("\n# comment only\n\n  load = 0.3  # trailing\n").unwrap();
+        assert_eq!(cfg.load, 0.3);
+    }
+
+    #[test]
+    fn all_remaining_keys_apply() {
+        let mut cfg = SimConfig::baseline();
+        apply_setting(&mut cfg, "mu_local", "2.0").unwrap();
+        apply_setting(&mut cfg, "mu_subtask", "0.5").unwrap();
+        apply_setting(&mut cfg, "slack", "1..2").unwrap();
+        apply_setting(&mut cfg, "scheduler", "llf").unwrap();
+        apply_setting(&mut cfg, "preemptive", "false").unwrap();
+        apply_setting(&mut cfg, "speeds", "1, 2, 1, 1, 0.5, 0.5").unwrap();
+        apply_setting(&mut cfg, "service_shape", "deterministic").unwrap();
+        apply_setting(&mut cfg, "abort", "pm").unwrap();
+        apply_setting(&mut cfg, "estimation", "factor:2").unwrap();
+        apply_setting(&mut cfg, "placement", "least-loaded").unwrap();
+        assert_eq!(cfg.placement, sda_sim::Placement::LeastLoaded);
+        assert!(apply_setting(&mut cfg, "placement", "psychic").is_err());
+        apply_setting(&mut cfg, "burst", "50, 0.2, 3").unwrap();
+        let burst = cfg.burst.expect("set above");
+        assert_eq!(
+            (burst.period, burst.on_fraction, burst.boost),
+            (50.0, 0.2, 3.0)
+        );
+        apply_setting(&mut cfg, "burst", "none").unwrap();
+        assert_eq!(cfg.burst, None);
+        assert!(apply_setting(&mut cfg, "burst", "50,0.2").is_err());
+        assert!(
+            apply_setting(&mut cfg, "burst", "50,0.2,9").is_err(),
+            "boost >= 1/f"
+        );
+        assert_eq!(cfg.mu_local, 2.0);
+        assert_eq!(cfg.node_speeds.len(), 6);
+        assert_eq!(cfg.scheduler, sda_sched::Policy::Llf);
+        assert_eq!(cfg.service_shape, ServiceShape::Deterministic);
+    }
+
+    #[test]
+    fn errors_carry_context() {
+        assert!(matches!(
+            parse_config_text("load 0.5"),
+            Err(ConfigFileError::Syntax { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_config_text("speed_of_light = 3e8"),
+            Err(ConfigFileError::UnknownKey(_))
+        ));
+        let err = parse_config_text("strategy = FAST").unwrap_err();
+        assert!(matches!(err, ConfigFileError::BadValue { .. }));
+        assert!(err.to_string().contains("strategy"));
+        assert!(matches!(
+            parse_config_text("load = fast"),
+            Err(ConfigFileError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ConfigFileError::Syntax {
+            line: 3,
+            text: "oops".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "line 3: expected `key = value`, got \"oops\""
+        );
+        assert_eq!(
+            ConfigFileError::UnknownKey("zap".into()).to_string(),
+            "unknown setting \"zap\""
+        );
+    }
+
+    #[test]
+    fn load_config_reports_missing_file() {
+        let err = load_config(Path::new("/nonexistent/sda.conf")).unwrap_err();
+        assert!(matches!(err, ConfigFileError::Io(_)));
+    }
+}

@@ -1,0 +1,344 @@
+//! The `sda` command-line tool.
+//!
+//! ```text
+//! sda run [CONFIG] [key=value ...] [--seed N] [--reps N]
+//!     Run a simulation and print a report. CONFIG is an optional
+//!     config file (see `sda help config`); key=value pairs override it.
+//!
+//! sda compare [CONFIG] STRATEGY [STRATEGY ...] [--seed N] [--reps N]
+//!     Run the same workload under several strategies (common random
+//!     numbers) and print a side-by-side miss-rate table.
+//!
+//! sda decompose SPEC DEADLINE STRATEGY [--pex P1,P2,...]
+//!     Decompose an end-to-end deadline over a serial-parallel task
+//!     graph (bracket notation) and print each stage's virtual deadline.
+//!
+//! sda help [config]
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use sda_cli::{apply_setting, load_config, parse_strategy, render_report};
+use sda_core::Decomposition;
+use sda_model::parse_spec;
+use sda_sim::{replicate, seeds, SimConfig};
+use sda_simcore::SimTime;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("decompose") => cmd_decompose(&args[1..]),
+        Some("help") | None => {
+            print_help(args.get(1).map(String::as_str));
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?} (try `sda help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Shared option scanning: extracts `--seed N` / `--reps N`, leaving the
+/// positional arguments.
+fn split_options(args: &[String]) -> Result<(Vec<&String>, u64, usize), String> {
+    let mut seed = 42u64;
+    let mut reps = 2usize;
+    let mut positional = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = iter.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--reps" => {
+                let v = iter.next().ok_or("--reps needs a value")?;
+                reps = v.parse().map_err(|_| format!("bad reps {v:?}"))?;
+                if reps == 0 {
+                    return Err("reps must be at least 1".into());
+                }
+            }
+            _ => positional.push(arg),
+        }
+    }
+    Ok((positional, seed, reps))
+}
+
+/// Builds a configuration from an optional leading config-file path and
+/// `key=value` overrides.
+fn build_config<'a>(positional: &[&'a String]) -> Result<(SimConfig, Vec<&'a String>), String> {
+    let mut cfg = SimConfig::baseline();
+    let mut rest = positional;
+    if let Some(first) = positional.first() {
+        if !first.contains('=') && Path::new(first).exists() {
+            cfg = load_config(Path::new(first)).map_err(|e| e.to_string())?;
+            rest = &positional[1..];
+        }
+    }
+    let mut leftovers = Vec::new();
+    for arg in rest {
+        if let Some((key, value)) = arg.split_once('=') {
+            apply_setting(&mut cfg, key, value).map_err(|e| e.to_string())?;
+        } else {
+            leftovers.push(*arg);
+        }
+    }
+    Ok((cfg, leftovers))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (positional, seed, reps) = split_options(args)?;
+    let (cfg, leftovers) = build_config(&positional)?;
+    if let Some(extra) = leftovers.first() {
+        return Err(format!("unexpected argument {extra:?}"));
+    }
+    cfg.validate().map_err(|e| e.to_string())?;
+    let multi = replicate(&cfg, &seeds(seed, reps)).map_err(|e| e.to_string())?;
+    print!("{}", render_report(&cfg, &multi));
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let (positional, seed, reps) = split_options(args)?;
+    let (base, strategy_args) = build_config(&positional)?;
+    if strategy_args.is_empty() {
+        return Err("compare needs at least one strategy label (e.g. UD-UD EQF-DIV1)".into());
+    }
+    base.validate().map_err(|e| e.to_string())?;
+    println!(
+        "{:<12} {:>16} {:>16} {:>16}",
+        "strategy", "MD_local", "MD_global", "missed work"
+    );
+    for label in strategy_args {
+        let strategy = parse_strategy(label)?;
+        let cfg = base.clone().with_strategy(strategy);
+        let multi = replicate(&cfg, &seeds(seed, reps)).map_err(|e| e.to_string())?;
+        println!(
+            "{:<12} {:>16} {:>16} {:>16}",
+            strategy.label(),
+            format!("{}", multi.md_local()),
+            format!("{}", multi.md_global()),
+            format!("{}", multi.missed_work()),
+        );
+    }
+    Ok(())
+}
+
+/// Parses a sweep spec `key=LO..HI:STEP` into (key, values).
+fn parse_sweep_spec(text: &str) -> Result<(String, Vec<f64>), String> {
+    let (key, range) = text
+        .split_once('=')
+        .ok_or_else(|| format!("sweep spec {text:?} must look like key=LO..HI:STEP"))?;
+    let (span, step) = range
+        .split_once(':')
+        .ok_or_else(|| format!("sweep range {range:?} must look like LO..HI:STEP"))?;
+    let (lo, hi) = span
+        .split_once("..")
+        .ok_or_else(|| format!("sweep span {span:?} must look like LO..HI"))?;
+    let lo: f64 = lo.trim().parse().map_err(|_| format!("bad LO {lo:?}"))?;
+    let hi: f64 = hi.trim().parse().map_err(|_| format!("bad HI {hi:?}"))?;
+    let step: f64 = step
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad STEP {step:?}"))?;
+    if !(step > 0.0 && hi >= lo) {
+        return Err(format!("invalid sweep [{lo}, {hi}] step {step}"));
+    }
+    let mut values = Vec::new();
+    let mut v = lo;
+    while v <= hi + 1e-9 {
+        values.push(v);
+        v += step;
+    }
+    Ok((key.trim().to_string(), values))
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let (positional, seed, reps) = split_options(args)?;
+    let Some((&spec_arg, rest)) = positional.split_first() else {
+        return Err("usage: sda sweep key=LO..HI:STEP [CONFIG] [key=value ...]".into());
+    };
+    let (key, values) = parse_sweep_spec(spec_arg)?;
+    let (base, leftovers) = build_config(rest)?;
+    if let Some(extra) = leftovers.first() {
+        return Err(format!("unexpected argument {extra:?}"));
+    }
+    println!(
+        "{:<10} {:>16} {:>16} {:>16}",
+        key, "MD_local", "MD_global", "missed work"
+    );
+    for value in values {
+        let mut cfg = base.clone();
+        apply_setting(&mut cfg, &key, &format!("{value}")).map_err(|e| e.to_string())?;
+        cfg.validate().map_err(|e| e.to_string())?;
+        let multi = replicate(&cfg, &seeds(seed, reps)).map_err(|e| e.to_string())?;
+        println!(
+            "{:<10.3} {:>16} {:>16} {:>16}",
+            value,
+            format!("{}", multi.md_local()),
+            format!("{}", multi.md_global()),
+            format!("{}", multi.missed_work()),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_decompose(args: &[String]) -> Result<(), String> {
+    let (positional, _, _) = split_options(args)?;
+    let mut pex_arg: Option<&String> = None;
+    let mut plain = Vec::new();
+    let mut iter = positional.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--pex" {
+            pex_arg = Some(iter.next().ok_or("--pex needs a value")?);
+        } else {
+            plain.push(arg);
+        }
+    }
+    let [spec_text, deadline_text, strategy_text] = plain.as_slice() else {
+        return Err("usage: sda decompose SPEC DEADLINE STRATEGY [--pex P1,P2,...]".into());
+    };
+    let spec = parse_spec(spec_text).map_err(|e| e.to_string())?;
+    let deadline: f64 = deadline_text
+        .parse()
+        .map_err(|_| format!("bad deadline {deadline_text:?}"))?;
+    let strategy = parse_strategy(strategy_text)?;
+    let leaves = spec.simple_count();
+    let pex: Vec<f64> = match pex_arg {
+        Some(text) => {
+            let parsed: Result<Vec<f64>, _> =
+                text.split(',').map(|p| p.trim().parse::<f64>()).collect();
+            let parsed = parsed.map_err(|_| format!("bad pex list {text:?}"))?;
+            if parsed.len() != leaves {
+                return Err(format!(
+                    "pex list has {} entries, the graph has {leaves} subtasks",
+                    parsed.len()
+                ));
+            }
+            parsed
+        }
+        None => vec![1.0; leaves],
+    };
+
+    println!("task graph: {spec}");
+    println!("strategy:   {strategy}, end-to-end deadline {deadline}\n");
+    let mut decomp = Decomposition::new(&spec, pex.clone());
+    let mut pending = decomp.start(SimTime::ZERO, SimTime::from(deadline), &strategy);
+    let mut now = 0.0f64;
+    while !pending.is_empty() {
+        pending.sort_by_key(|r| r.leaf);
+        for r in &pending {
+            println!(
+                "t = {now:7.3}   T{} released, virtual deadline {:.3}",
+                r.leaf + 1,
+                r.deadline.value()
+            );
+        }
+        let batch = std::mem::take(&mut pending);
+        let finish = now + batch.iter().map(|r| pex[r.leaf]).fold(0.0, f64::max);
+        for r in batch {
+            pending.extend(decomp.complete_leaf(r.leaf, SimTime::from(finish), &strategy));
+        }
+        now = finish;
+    }
+    println!("t = {now:7.3}   complete (assuming each subtask runs exactly its pex)");
+    Ok(())
+}
+
+fn print_help(topic: Option<&str>) {
+    if topic == Some("config") {
+        println!(
+            "config file format: one `key = value` per line, `#` comments.\n\
+             keys:\n\
+             \x20 nodes, load, frac_local, mu_local, mu_subtask, duration, warmup\n\
+             \x20 slack = LO..HI            local slack distribution\n\
+             \x20 global_slack = LO..HI\n\
+             \x20 shape = parallel:N | uniform:LO-HI | spec:[...] | figure14\n\
+             \x20 strategy = SSP-PSP        e.g. UD-UD, UD-DIV1, EQF-DIV1, ED-GF\n\
+             \x20 scheduler = edf|fcfs|sjf|llf\n\
+             \x20 preemptive = true|false\n\
+             \x20 speeds = S1,S2,...        per-node speed factors\n\
+             \x20 service_shape = exponential|deterministic|uniform\n\
+             \x20 placement = random|least-loaded\n\
+             \x20 burst = none|PERIOD,ON_FRACTION,BOOST  (ON/OFF arrival bursts)\n\
+             \x20 abort = none|pm|local|local-drop\n\
+             \x20 estimation = exact|factor:F|bias:F|mean:M"
+        );
+        return;
+    }
+    println!(
+        "sda — subtask deadline assignment simulator (Kao & Garcia-Molina, ICDCS 1994)\n\n\
+         usage:\n\
+         \x20 sda run [CONFIG] [key=value ...] [--seed N] [--reps N]\n\
+         \x20 sda compare [CONFIG] [key=value ...] STRATEGY... [--seed N] [--reps N]\n\
+         \x20 sda sweep key=LO..HI:STEP [CONFIG] [key=value ...] [--seed N] [--reps N]\n\
+         \x20 sda decompose SPEC DEADLINE STRATEGY [--pex P1,P2,...]\n\
+         \x20 sda help [config]\n\n\
+         examples:\n\
+         \x20 sda run load=0.7 strategy=UD-DIV1\n\
+         \x20 sda compare load=0.5 UD-UD UD-DIV1 UD-GF EQF-DIV1\n\
+         \x20 sda sweep load=0.1..0.9:0.2 strategy=UD-GF\n\
+         \x20 sda decompose \"[a [b || c] d]\" 12 EQF-DIV1 --pex 1,2,2,1"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn split_options_extracts_seed_and_reps() {
+        let args = strings(&["load=0.5", "--seed", "7", "UD-UD", "--reps", "3"]);
+        let (positional, seed, reps) = split_options(&args).unwrap();
+        assert_eq!(seed, 7);
+        assert_eq!(reps, 3);
+        assert_eq!(positional.len(), 2);
+    }
+
+    #[test]
+    fn split_options_defaults() {
+        let (positional, seed, reps) = split_options(&[]).unwrap();
+        assert!(positional.is_empty());
+        assert_eq!(seed, 42);
+        assert_eq!(reps, 2);
+        assert!(split_options(&strings(&["--seed"])).is_err());
+        assert!(split_options(&strings(&["--reps", "0"])).is_err());
+    }
+
+    #[test]
+    fn build_config_applies_overrides() {
+        let args = strings(&["load=0.7", "strategy=UD-GF", "leftover"]);
+        let refs: Vec<&String> = args.iter().collect();
+        let (cfg, leftovers) = build_config(&refs).unwrap();
+        assert_eq!(cfg.load, 0.7);
+        assert_eq!(cfg.strategy.psp.label(), "GF");
+        assert_eq!(leftovers.len(), 1);
+        assert_eq!(leftovers[0], "leftover");
+    }
+
+    #[test]
+    fn sweep_spec_parses() {
+        let (key, values) = parse_sweep_spec("load=0.1..0.5:0.2").unwrap();
+        assert_eq!(key, "load");
+        assert_eq!(values.len(), 3);
+        assert!((values[0] - 0.1).abs() < 1e-12);
+        assert!((values[2] - 0.5).abs() < 1e-12);
+        assert!(parse_sweep_spec("load=0.1..0.5").is_err());
+        assert!(parse_sweep_spec("load").is_err());
+        assert!(parse_sweep_spec("load=0.5..0.1:0.1").is_err());
+        assert!(parse_sweep_spec("load=0.1..0.5:0").is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! Parsers for the CLI's human-writable value syntax.
+
+use sda_core::{EstimationModel, PspStrategy, SdaStrategy, SspStrategy};
+use sda_model::parse_spec;
+use sda_sim::{AbortPolicy, GlobalShape, ResubmitPolicy};
+use sda_simcore::dist::Uniform;
+
+/// Parses a combined strategy label like `UD-UD`, `EQF-DIV1`, `UD-GF`,
+/// or `EQS-DIV2.5` (SSP name, dash, PSP name).
+///
+/// PSP names: `UD`, `GF`, `DIVx` or `DIV-x` with a positive factor `x`.
+/// SSP names: `UD`, `ED`, `EQS`, `EQF`.
+///
+/// # Errors
+///
+/// Returns a message describing the malformed part.
+pub fn parse_strategy(text: &str) -> Result<SdaStrategy, String> {
+    let text = text.trim();
+    let (ssp_text, psp_text) = text
+        .split_once('-')
+        .ok_or_else(|| format!("strategy {text:?} must look like SSP-PSP, e.g. EQF-DIV1"))?;
+    let ssp = match ssp_text.to_ascii_uppercase().as_str() {
+        "UD" => SspStrategy::Ud,
+        "ED" => SspStrategy::Ed,
+        "EQS" => SspStrategy::Eqs,
+        "EQF" => SspStrategy::Eqf,
+        other => return Err(format!("unknown SSP strategy {other:?} (UD, ED, EQS, EQF)")),
+    };
+    let psp_upper = psp_text.to_ascii_uppercase();
+    let psp = if psp_upper == "UD" {
+        PspStrategy::Ud
+    } else if psp_upper == "GF" {
+        PspStrategy::gf()
+    } else if let Some(x_text) = psp_upper
+        .strip_prefix("DIV-")
+        .or_else(|| psp_upper.strip_prefix("DIV"))
+    {
+        let x: f64 = x_text
+            .parse()
+            .map_err(|_| format!("bad DIV factor {x_text:?}"))?;
+        if !(x.is_finite() && x > 0.0) {
+            return Err(format!("DIV factor must be positive, got {x}"));
+        }
+        PspStrategy::div(x)
+    } else {
+        return Err(format!("unknown PSP strategy {psp_text:?} (UD, DIVx, GF)"));
+    };
+    Ok(SdaStrategy { ssp, psp })
+}
+
+/// Parses a global-task shape:
+///
+/// * `parallel:N` — N simple subtasks in parallel (the baseline);
+/// * `uniform:LO-HI` — parallel with n drawn uniformly from `[LO, HI]`;
+/// * `spec:[...]` — any serial-parallel graph in the paper's bracket
+///   notation;
+/// * `figure14` — the §8 five-stage trading pipeline.
+///
+/// # Errors
+///
+/// Returns a message describing the malformed part.
+pub fn parse_shape(text: &str) -> Result<GlobalShape, String> {
+    let text = text.trim();
+    if text.eq_ignore_ascii_case("figure14") {
+        return Ok(GlobalShape::figure14());
+    }
+    if let Some(n_text) = text.strip_prefix("parallel:") {
+        let n: usize = n_text
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad parallel count {n_text:?}"))?;
+        return Ok(GlobalShape::ParallelFixed { n });
+    }
+    if let Some(range) = text.strip_prefix("uniform:") {
+        let (lo, hi) = range
+            .split_once('-')
+            .ok_or_else(|| format!("uniform shape needs LO-HI, got {range:?}"))?;
+        let lo: usize = lo.trim().parse().map_err(|_| format!("bad LO {lo:?}"))?;
+        let hi: usize = hi.trim().parse().map_err(|_| format!("bad HI {hi:?}"))?;
+        return Ok(GlobalShape::ParallelUniform { lo, hi });
+    }
+    if let Some(spec_text) = text.strip_prefix("spec:") {
+        let spec = parse_spec(spec_text).map_err(|e| format!("bad spec: {e}"))?;
+        return Ok(GlobalShape::Spec(spec));
+    }
+    Err(format!(
+        "unknown shape {text:?} (parallel:N, uniform:LO-HI, spec:[...], figure14)"
+    ))
+}
+
+/// Parses a uniform range like `1.25..5` into a distribution.
+///
+/// # Errors
+///
+/// Returns a message describing the malformed part.
+pub fn parse_range(text: &str) -> Result<Uniform, String> {
+    let (lo, hi) = text
+        .trim()
+        .split_once("..")
+        .ok_or_else(|| format!("range {text:?} must look like LO..HI"))?;
+    let lo: f64 = lo.trim().parse().map_err(|_| format!("bad LO {lo:?}"))?;
+    let hi: f64 = hi.trim().parse().map_err(|_| format!("bad HI {hi:?}"))?;
+    if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+        return Err(format!("invalid range [{lo}, {hi}]"));
+    }
+    Ok(Uniform::new(lo, hi))
+}
+
+/// Parses an abortion policy: `none`, `pm` (process manager), `local`
+/// (local scheduler, resubmit once), or `local-drop` (no resubmission).
+///
+/// # Errors
+///
+/// Returns a message on unknown policies.
+pub fn parse_abort(text: &str) -> Result<AbortPolicy, String> {
+    match text.trim().to_ascii_lowercase().as_str() {
+        "none" => Ok(AbortPolicy::None),
+        "pm" | "process-manager" => Ok(AbortPolicy::ProcessManager),
+        "local" => Ok(AbortPolicy::LocalScheduler {
+            resubmit: ResubmitPolicy::OnceWithRealDeadline,
+        }),
+        "local-drop" => Ok(AbortPolicy::LocalScheduler {
+            resubmit: ResubmitPolicy::Never,
+        }),
+        other => Err(format!(
+            "unknown abort policy {other:?} (none, pm, local, local-drop)"
+        )),
+    }
+}
+
+/// Parses an estimation model: `exact`, `factor:F` (log-uniform error up
+/// to F×), `bias:F`, or `mean:M` (class mean only).
+///
+/// # Errors
+///
+/// Returns a message on unknown models or bad numbers.
+pub fn parse_estimation(text: &str) -> Result<EstimationModel, String> {
+    let text = text.trim();
+    if text.eq_ignore_ascii_case("exact") {
+        return Ok(EstimationModel::Exact);
+    }
+    if let Some(f) = text.strip_prefix("factor:") {
+        let f: f64 = f.trim().parse().map_err(|_| format!("bad factor {f:?}"))?;
+        if !(f.is_finite() && f >= 1.0) {
+            return Err(format!("factor must be >= 1, got {f}"));
+        }
+        return Ok(EstimationModel::uniform_factor(f));
+    }
+    if let Some(f) = text.strip_prefix("bias:") {
+        let f: f64 = f.trim().parse().map_err(|_| format!("bad bias {f:?}"))?;
+        if !(f.is_finite() && f > 0.0) {
+            return Err(format!("bias must be positive, got {f}"));
+        }
+        return Ok(EstimationModel::bias(f));
+    }
+    if let Some(m) = text.strip_prefix("mean:") {
+        let mean: f64 = m.trim().parse().map_err(|_| format!("bad mean {m:?}"))?;
+        return Ok(EstimationModel::ClassMean { mean });
+    }
+    Err(format!(
+        "unknown estimation model {text:?} (exact, factor:F, bias:F, mean:M)"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_parse_table2_labels() {
+        assert_eq!(parse_strategy("UD-UD").unwrap(), SdaStrategy::ud_ud());
+        assert_eq!(parse_strategy("UD-DIV1").unwrap(), SdaStrategy::ud_div1());
+        assert_eq!(parse_strategy("EQF-UD").unwrap(), SdaStrategy::eqf_ud());
+        assert_eq!(parse_strategy("EQF-DIV1").unwrap(), SdaStrategy::eqf_div1());
+    }
+
+    #[test]
+    fn strategies_parse_variants() {
+        let s = parse_strategy("eqs-div2.5").unwrap();
+        assert_eq!(s.ssp, SspStrategy::Eqs);
+        assert_eq!(s.psp, PspStrategy::div(2.5));
+        let gf = parse_strategy("ED-GF").unwrap();
+        assert_eq!(gf.ssp, SspStrategy::Ed);
+        assert!(matches!(gf.psp, PspStrategy::Gf { .. }));
+        // DIV with explicit dash.
+        let d = parse_strategy("UD-DIV-4").unwrap();
+        assert_eq!(d.psp, PspStrategy::div(4.0));
+    }
+
+    #[test]
+    fn strategy_round_trips_through_labels() {
+        for s in SdaStrategy::table2() {
+            assert_eq!(parse_strategy(&s.label()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn strategy_errors() {
+        assert!(parse_strategy("EQF").is_err(), "missing PSP part");
+        assert!(parse_strategy("XX-UD").is_err());
+        assert!(parse_strategy("UD-DIVx").is_err());
+        assert!(parse_strategy("UD-DIV0").is_err());
+        assert!(parse_strategy("UD-DIV-0").is_err());
+    }
+
+    #[test]
+    fn shapes_parse() {
+        assert_eq!(
+            parse_shape("parallel:4").unwrap(),
+            GlobalShape::ParallelFixed { n: 4 }
+        );
+        assert_eq!(
+            parse_shape("uniform:2-6").unwrap(),
+            GlobalShape::ParallelUniform { lo: 2, hi: 6 }
+        );
+        assert_eq!(parse_shape("figure14").unwrap(), GlobalShape::figure14());
+        let spec = parse_shape("spec:[a [b || c] d]").unwrap();
+        match spec {
+            GlobalShape::Spec(s) => {
+                assert_eq!(s.simple_count(), 4);
+                assert_eq!(s.stage_count(), 3);
+            }
+            other => panic!("expected spec shape, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(parse_shape("parallel:x").is_err());
+        assert!(parse_shape("uniform:6").is_err());
+        assert!(parse_shape("spec:[a ||]").is_err());
+        assert!(parse_shape("circle").is_err());
+    }
+
+    #[test]
+    fn ranges_parse() {
+        let r = parse_range("1.25..5").unwrap();
+        assert_eq!((r.lo(), r.hi()), (1.25, 5.0));
+        let r = parse_range(" 6.25 .. 25 ").unwrap();
+        assert_eq!((r.lo(), r.hi()), (6.25, 25.0));
+        assert!(parse_range("5").is_err());
+        assert!(parse_range("5..1").is_err());
+    }
+
+    #[test]
+    fn abort_policies_parse() {
+        assert_eq!(parse_abort("none").unwrap(), AbortPolicy::None);
+        assert_eq!(parse_abort("PM").unwrap(), AbortPolicy::ProcessManager);
+        assert_eq!(
+            parse_abort("local").unwrap(),
+            AbortPolicy::LocalScheduler {
+                resubmit: ResubmitPolicy::OnceWithRealDeadline
+            }
+        );
+        assert_eq!(
+            parse_abort("local-drop").unwrap(),
+            AbortPolicy::LocalScheduler {
+                resubmit: ResubmitPolicy::Never
+            }
+        );
+        assert!(parse_abort("sometimes").is_err());
+    }
+
+    #[test]
+    fn estimation_models_parse() {
+        assert_eq!(parse_estimation("exact").unwrap(), EstimationModel::Exact);
+        assert_eq!(
+            parse_estimation("factor:2").unwrap(),
+            EstimationModel::uniform_factor(2.0)
+        );
+        assert_eq!(
+            parse_estimation("bias:0.5").unwrap(),
+            EstimationModel::bias(0.5)
+        );
+        assert_eq!(
+            parse_estimation("mean:1").unwrap(),
+            EstimationModel::ClassMean { mean: 1.0 }
+        );
+        assert!(parse_estimation("magic").is_err());
+        assert!(parse_estimation("factor:0.5").is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! End-to-end tests of the `sda` binary, driving it as a subprocess.
+
+use std::process::Command;
+
+fn sda(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_sda"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = sda(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sda run"));
+    assert!(text.contains("sda compare"));
+    assert!(text.contains("decompose"));
+}
+
+#[test]
+fn help_config_lists_keys() {
+    let out = sda(&["help", "config"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for key in ["frac_local", "strategy", "abort", "service_shape"] {
+        assert!(text.contains(key), "missing {key}");
+    }
+}
+
+#[test]
+fn run_with_overrides_produces_a_report() {
+    let out = sda(&[
+        "run",
+        "duration=3000",
+        "warmup=50",
+        "load=0.5",
+        "--reps",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("MD_global"));
+    assert!(text.contains("utilization"));
+}
+
+#[test]
+fn run_from_config_file() {
+    let dir = std::env::temp_dir().join("sda-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("baseline.conf");
+    std::fs::write(
+        &path,
+        "load = 0.4\nstrategy = UD-DIV1\nduration = 2000\nwarmup = 20\n",
+    )
+    .unwrap();
+    let out = sda(&["run", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("load=0.4"));
+    assert!(text.contains("UD-DIV1"));
+}
+
+#[test]
+fn compare_lists_each_strategy() {
+    let out = sda(&[
+        "compare",
+        "duration=2000",
+        "warmup=20",
+        "UD-UD",
+        "UD-GF",
+        "--reps",
+        "1",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("UD-UD"));
+    assert!(text.contains("UD-GF"));
+}
+
+#[test]
+fn sweep_emits_one_row_per_value() {
+    let out = sda(&[
+        "sweep",
+        "load=0.2..0.6:0.2",
+        "duration=2000",
+        "warmup=20",
+        "--reps",
+        "1",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Header + 3 data rows.
+    assert_eq!(text.lines().count(), 4, "{text}");
+}
+
+#[test]
+fn decompose_prints_virtual_deadlines() {
+    let out = sda(&[
+        "decompose",
+        "[a [b || c] d]",
+        "12",
+        "EQF-DIV1",
+        "--pex",
+        "1,2,2,1",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("T1 released"));
+    assert!(text.contains("virtual deadline"));
+    // Last stage carries the real deadline.
+    assert!(text.contains("12.000"));
+}
+
+#[test]
+fn bad_input_fails_with_a_message() {
+    let out = sda(&["run", "load=2.0"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("load"), "{err}");
+
+    let out = sda(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = sda(&["decompose", "[a ||]", "5", "UD-UD"]);
+    assert!(!out.status.success());
+}

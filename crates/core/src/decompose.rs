@@ -1,0 +1,623 @@
+//! The recursive SDA algorithm of Figure 13, as an incremental runtime.
+//!
+//! The paper's `SDA(X, D)` pseudo-code breaks an end-to-end deadline `D`
+//! down to the *executable* simple subtasks (those not preceded by any
+//! other). Because assignment is **on-line**, the recursion cannot run once
+//! up front: when a serial stage completes, its successor's deadline is
+//! computed *then*, from the actual completion time. [`Decomposition`]
+//! packages that statefulness: it walks the serial-parallel tree, emitting
+//! a [`Release`] (leaf + virtual deadline) whenever a simple subtask
+//! becomes executable.
+
+use std::fmt;
+
+use sda_model::TaskSpec;
+use sda_simcore::SimTime;
+
+use crate::psp::PspStrategy;
+use crate::ssp::SspStrategy;
+
+/// A combined deadline-assignment strategy: SSP for serial compositions,
+/// PSP for parallel compositions (Table 2's combination space).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SdaStrategy {
+    /// Applied at every serial composition.
+    pub ssp: SspStrategy,
+    /// Applied at every parallel composition.
+    pub psp: PspStrategy,
+}
+
+impl SdaStrategy {
+    /// `UD-UD`: no decomposition anywhere (the paper's base case).
+    pub fn ud_ud() -> SdaStrategy {
+        SdaStrategy {
+            ssp: SspStrategy::Ud,
+            psp: PspStrategy::Ud,
+        }
+    }
+
+    /// `UD-DIV1`: PSP only.
+    pub fn ud_div1() -> SdaStrategy {
+        SdaStrategy {
+            ssp: SspStrategy::Ud,
+            psp: PspStrategy::div(1.0),
+        }
+    }
+
+    /// `EQF-UD`: SSP only.
+    pub fn eqf_ud() -> SdaStrategy {
+        SdaStrategy {
+            ssp: SspStrategy::Eqf,
+            psp: PspStrategy::Ud,
+        }
+    }
+
+    /// `EQF-DIV1`: both (the paper's winning combination).
+    pub fn eqf_div1() -> SdaStrategy {
+        SdaStrategy {
+            ssp: SspStrategy::Eqf,
+            psp: PspStrategy::div(1.0),
+        }
+    }
+
+    /// The Table 2 combinations, in the paper's order.
+    pub fn table2() -> [SdaStrategy; 4] {
+        [
+            SdaStrategy::ud_ud(),
+            SdaStrategy::ud_div1(),
+            SdaStrategy::eqf_ud(),
+            SdaStrategy::eqf_div1(),
+        ]
+    }
+
+    /// A label like `EQF-DIV1` matching the paper's Table 2 naming.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.ssp.label(), self.psp.label().replace('-', ""))
+    }
+}
+
+impl fmt::Display for SdaStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// A simple subtask that has just become executable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Release {
+    /// Index of the simple subtask in depth-first leaf order (the same
+    /// order as [`TaskSpec::critical_path`] consumes execution times).
+    pub leaf: usize,
+    /// The virtual deadline the subtask should be submitted with.
+    pub deadline: SimTime,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Leaf {
+        leaf_index: usize,
+    },
+    Serial {
+        children: Vec<usize>,
+        next: usize,
+    },
+    Parallel {
+        children: Vec<usize>,
+        remaining: usize,
+    },
+}
+
+#[derive(Debug)]
+struct Node {
+    parent: Option<usize>,
+    kind: Kind,
+    /// Critical-path predicted execution time of this subtree (sum over
+    /// serial children, max over parallel children): the `pex(Tj)` the SSP
+    /// strategies consume when a stage is itself a complex subtask.
+    subtree_pex: f64,
+    /// The (virtual) deadline assigned when this node was activated.
+    deadline: SimTime,
+    activated: bool,
+    done: bool,
+}
+
+/// The runtime state of one global task's deadline decomposition.
+///
+/// ```
+/// use sda_core::{Decomposition, SdaStrategy};
+/// use sda_model::TaskSpec;
+/// use sda_simcore::SimTime;
+///
+/// // [T1 [T2 || T3]] with EQF-DIV1 and unit predictions.
+/// let spec = TaskSpec::serial(vec![TaskSpec::simple(), TaskSpec::parallel_simple(2)]);
+/// let mut d = Decomposition::new(&spec, vec![1.0, 1.0, 1.0]);
+/// let strategy = SdaStrategy::eqf_div1();
+///
+/// let first = d.start(SimTime::ZERO, SimTime::from(10.0), &strategy);
+/// assert_eq!(first.len(), 1); // only T1 is executable
+///
+/// // T1 finishes at time 2: the parallel stage is released.
+/// let next = d.complete_leaf(first[0].leaf, SimTime::from(2.0), &strategy);
+/// assert_eq!(next.len(), 2);
+/// for r in &next {
+///     d.complete_leaf(r.leaf, SimTime::from(5.0), &strategy);
+/// }
+/// assert!(d.is_finished());
+/// ```
+#[derive(Debug)]
+pub struct Decomposition {
+    nodes: Vec<Node>,
+    /// Maps leaf index (depth-first order) to arena node.
+    leaf_nodes: Vec<usize>,
+    root: usize,
+    finished: bool,
+    started: bool,
+}
+
+impl Decomposition {
+    /// Builds the runtime for `spec`, with one predicted execution time
+    /// per simple subtask in depth-first leaf order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails [`TaskSpec::validate`] or `leaf_pex` does not
+    /// have exactly one entry per simple subtask.
+    pub fn new(spec: &TaskSpec, leaf_pex: Vec<f64>) -> Decomposition {
+        spec.validate().expect("invalid task spec");
+        assert_eq!(
+            leaf_pex.len(),
+            spec.simple_count(),
+            "need one pex per simple subtask"
+        );
+        let mut nodes = Vec::new();
+        let mut leaf_nodes = Vec::new();
+        let mut cursor = 0usize;
+        let root = build(
+            spec,
+            None,
+            &leaf_pex,
+            &mut cursor,
+            &mut nodes,
+            &mut leaf_nodes,
+        );
+        Decomposition {
+            nodes,
+            leaf_nodes,
+            root,
+            finished: false,
+            started: false,
+        }
+    }
+
+    /// Number of simple subtasks.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_nodes.len()
+    }
+
+    /// Whether every simple subtask has completed.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The critical-path predicted execution time of the whole task.
+    pub fn total_pex(&self) -> f64 {
+        self.nodes[self.root].subtree_pex
+    }
+
+    /// Starts the task at `now` with end-to-end deadline `deadline`,
+    /// returning the initially executable subtasks (Figure 13's first
+    /// descent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start(
+        &mut self,
+        now: SimTime,
+        deadline: SimTime,
+        strategy: &SdaStrategy,
+    ) -> Vec<Release> {
+        assert!(!self.started, "decomposition already started");
+        self.started = true;
+        let mut out = Vec::new();
+        self.activate(self.root, now, deadline, strategy, &mut out);
+        out
+    }
+
+    /// Records that simple subtask `leaf` completed at `now`, returning
+    /// any subtasks that become executable as a result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leaf index is out of range, the leaf was never
+    /// released, or it already completed.
+    pub fn complete_leaf(
+        &mut self,
+        leaf: usize,
+        now: SimTime,
+        strategy: &SdaStrategy,
+    ) -> Vec<Release> {
+        let node_idx = *self
+            .leaf_nodes
+            .get(leaf)
+            .unwrap_or_else(|| panic!("leaf {leaf} out of range"));
+        {
+            let node = &mut self.nodes[node_idx];
+            assert!(node.activated, "leaf {leaf} completed before release");
+            assert!(!node.done, "leaf {leaf} completed twice");
+            node.done = true;
+        }
+        let mut out = Vec::new();
+        self.bubble_completion(node_idx, now, strategy, &mut out);
+        out
+    }
+
+    /// The deadline most recently assigned to a leaf (for inspection).
+    ///
+    /// Returns `None` if the leaf has not been released yet.
+    pub fn leaf_deadline(&self, leaf: usize) -> Option<SimTime> {
+        let node = &self.nodes[self.leaf_nodes[leaf]];
+        node.activated.then_some(node.deadline)
+    }
+
+    fn activate(
+        &mut self,
+        idx: usize,
+        now: SimTime,
+        deadline: SimTime,
+        strategy: &SdaStrategy,
+        out: &mut Vec<Release>,
+    ) {
+        {
+            let node = &mut self.nodes[idx];
+            node.deadline = deadline;
+            node.activated = true;
+        }
+        match &self.nodes[idx].kind {
+            Kind::Leaf { leaf_index } => {
+                out.push(Release {
+                    leaf: *leaf_index,
+                    deadline,
+                });
+            }
+            Kind::Serial { children, next } => {
+                debug_assert_eq!(*next, 0, "fresh serial node");
+                let children = children.clone();
+                self.activate_serial_stage(idx, &children, 0, now, strategy, out);
+            }
+            Kind::Parallel { children, .. } => {
+                let children = children.clone();
+                let n = children.len();
+                let child_dl = strategy.psp.assign(now, deadline, n);
+                for child in children {
+                    self.activate(child, now, child_dl, strategy, out);
+                }
+            }
+        }
+    }
+
+    /// Applies the SSP strategy to stage `stage` of serial node `idx` and
+    /// activates it.
+    fn activate_serial_stage(
+        &mut self,
+        idx: usize,
+        children: &[usize],
+        stage: usize,
+        now: SimTime,
+        strategy: &SdaStrategy,
+        out: &mut Vec<Release>,
+    ) {
+        let deadline = self.nodes[idx].deadline;
+        let remaining_pex: Vec<f64> = children[stage..]
+            .iter()
+            .map(|&c| self.nodes[c].subtree_pex)
+            .collect();
+        let stage_dl = strategy.ssp.assign(now, deadline, &remaining_pex);
+        self.activate(children[stage], now, stage_dl, strategy, out);
+    }
+
+    fn bubble_completion(
+        &mut self,
+        idx: usize,
+        now: SimTime,
+        strategy: &SdaStrategy,
+        out: &mut Vec<Release>,
+    ) {
+        let Some(parent) = self.nodes[idx].parent else {
+            self.finished = true;
+            return;
+        };
+        match &mut self.nodes[parent].kind {
+            Kind::Serial { children, next } => {
+                *next += 1;
+                let stage = *next;
+                let children = children.clone();
+                if stage < children.len() {
+                    self.activate_serial_stage(parent, &children, stage, now, strategy, out);
+                } else {
+                    self.nodes[parent].done = true;
+                    self.bubble_completion(parent, now, strategy, out);
+                }
+            }
+            Kind::Parallel { remaining, .. } => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.nodes[parent].done = true;
+                    self.bubble_completion(parent, now, strategy, out);
+                }
+            }
+            Kind::Leaf { .. } => unreachable!("a leaf cannot be a parent"),
+        }
+    }
+}
+
+/// Builds the arena depth-first, returning the index of the subtree root.
+fn build(
+    spec: &TaskSpec,
+    parent: Option<usize>,
+    leaf_pex: &[f64],
+    cursor: &mut usize,
+    nodes: &mut Vec<Node>,
+    leaf_nodes: &mut Vec<usize>,
+) -> usize {
+    let idx = nodes.len();
+    nodes.push(Node {
+        parent,
+        kind: Kind::Leaf { leaf_index: 0 }, // overwritten below
+        subtree_pex: 0.0,
+        deadline: SimTime::ZERO,
+        activated: false,
+        done: false,
+    });
+    match spec {
+        TaskSpec::Simple => {
+            let leaf_index = *cursor;
+            *cursor += 1;
+            nodes[idx].kind = Kind::Leaf { leaf_index };
+            nodes[idx].subtree_pex = leaf_pex[leaf_index];
+            leaf_nodes.push(idx);
+        }
+        TaskSpec::Serial(children) => {
+            let child_idxs: Vec<usize> = children
+                .iter()
+                .map(|c| build(c, Some(idx), leaf_pex, cursor, nodes, leaf_nodes))
+                .collect();
+            nodes[idx].subtree_pex = child_idxs.iter().map(|&c| nodes[c].subtree_pex).sum();
+            nodes[idx].kind = Kind::Serial {
+                children: child_idxs,
+                next: 0,
+            };
+        }
+        TaskSpec::Parallel(children) => {
+            let child_idxs: Vec<usize> = children
+                .iter()
+                .map(|c| build(c, Some(idx), leaf_pex, cursor, nodes, leaf_nodes))
+                .collect();
+            nodes[idx].subtree_pex = child_idxs
+                .iter()
+                .map(|&c| nodes[c].subtree_pex)
+                .fold(0.0, f64::max);
+            let remaining = child_idxs.len();
+            nodes[idx].kind = Kind::Parallel {
+                children: child_idxs,
+                remaining,
+            };
+        }
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f64) -> SimTime {
+        SimTime::from(v)
+    }
+
+    #[test]
+    fn pure_parallel_matches_figure4() {
+        // [T1 || T2 || T3], deadline 9, DIV-1: every release at dl 3.
+        let spec = TaskSpec::parallel_simple(3);
+        let mut d = Decomposition::new(&spec, vec![1.0; 3]);
+        let strategy = SdaStrategy::ud_div1();
+        let releases = d.start(t(0.0), t(9.0), &strategy);
+        assert_eq!(releases.len(), 3);
+        for r in &releases {
+            assert_eq!(r.deadline, t(3.0));
+        }
+        let leaves: Vec<usize> = releases.iter().map(|r| r.leaf).collect();
+        assert_eq!(leaves, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ud_ud_passes_the_deadline_through_everywhere() {
+        let spec = TaskSpec::pipeline_with_fanout(5, &[(1, 4), (3, 4)]);
+        let n = spec.simple_count();
+        let mut d = Decomposition::new(&spec, vec![1.0; n]);
+        let strategy = SdaStrategy::ud_ud();
+        let dl = t(50.0);
+        let mut pending = d.start(t(0.0), dl, &strategy);
+        let mut seen = 0;
+        let mut now = 0.0;
+        while let Some(r) = pending.pop() {
+            assert_eq!(r.deadline, dl, "UD-UD must never tighten a deadline");
+            seen += 1;
+            now += 1.0;
+            pending.extend(d.complete_leaf(r.leaf, t(now), &strategy));
+        }
+        assert_eq!(seen, n);
+        assert!(d.is_finished());
+    }
+
+    #[test]
+    fn serial_pipeline_with_eqf_recomputes_per_stage() {
+        // [T1 T2] with pex [2, 2], dl = 10.
+        let spec = TaskSpec::pipeline(2);
+        let mut d = Decomposition::new(&spec, vec![2.0, 2.0]);
+        let strategy = SdaStrategy {
+            ssp: SspStrategy::Eqf,
+            psp: PspStrategy::Ud,
+        };
+        let first = d.start(t(0.0), t(10.0), &strategy);
+        assert_eq!(first.len(), 1);
+        // slack_left = 10 - 4 = 6; stage 1: 0 + 2 + 6 * (2/4) = 5.
+        assert_eq!(first[0].deadline, t(5.0));
+        // Stage 1 actually finishes at 7 (late): stage 2 still gets the
+        // real end-to-end deadline.
+        let second = d.complete_leaf(first[0].leaf, t(7.0), &strategy);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].leaf, 1);
+        assert_eq!(second[0].deadline, t(10.0));
+        let done = d.complete_leaf(1, t(9.0), &strategy);
+        assert!(done.is_empty());
+        assert!(d.is_finished());
+    }
+
+    #[test]
+    fn figure14_walkthrough_with_eqf_div1() {
+        // 5 stages; stages 1 and 3 (0-based) have fan-out 4; pex all 1.
+        let spec = TaskSpec::pipeline_with_fanout(5, &[(1, 4), (3, 4)]);
+        let mut d = Decomposition::new(&spec, vec![1.0; 11]);
+        let strategy = SdaStrategy::eqf_div1();
+        // Critical-path pex: 1 + 1 + 1 + 1 + 1 = 5 (parallel stages count
+        // as their max branch = 1).
+        assert_eq!(d.total_pex(), 5.0);
+
+        let dl = t(25.0);
+        let s1 = d.start(t(0.0), dl, &strategy);
+        assert_eq!(s1.len(), 1, "stage 1 is a single simple subtask");
+        // EQF at stage 1: slack_left = 25 - 5 = 20, share = 1/5 => dl 0+1+4 = 5.
+        assert_eq!(s1[0].deadline, t(5.0));
+
+        // Stage 1 completes exactly at its virtual deadline.
+        let s2 = d.complete_leaf(s1[0].leaf, t(5.0), &strategy);
+        assert_eq!(s2.len(), 4, "stage 2 fans out to 4 parallel subtasks");
+        // EQF for stage 2 at now = 5: remaining pex [1,1,1,1] -> slack_left
+        // = 25 - 5 - 4 = 16, share 1/4 -> stage dl = 5 + 1 + 4 = 10.
+        // DIV-1 inside: (10 - 5) / 4 + 5 = 6.25.
+        for r in &s2 {
+            assert_eq!(r.deadline, t(6.25));
+        }
+
+        // Finish the 4 parallel subtasks at different times; only the last
+        // completion releases stage 3.
+        let mut released = Vec::new();
+        for (i, r) in s2.iter().enumerate() {
+            let finish = t(6.0 + i as f64);
+            released = d.complete_leaf(r.leaf, finish, &strategy);
+            if i < 3 {
+                assert!(released.is_empty(), "stage 3 must wait for all of stage 2");
+            }
+        }
+        assert_eq!(released.len(), 1, "stage 3 is simple");
+        assert!(!d.is_finished());
+    }
+
+    #[test]
+    fn serial_inside_parallel() {
+        // [[A B] || C]: A and C are executable initially; B only after A.
+        let spec = TaskSpec::parallel(vec![TaskSpec::pipeline(2), TaskSpec::simple()]);
+        let mut d = Decomposition::new(&spec, vec![1.0, 1.0, 1.0]);
+        let strategy = SdaStrategy::ud_ud();
+        let first = d.start(t(0.0), t(10.0), &strategy);
+        let mut leaves: Vec<usize> = first.iter().map(|r| r.leaf).collect();
+        leaves.sort_unstable();
+        assert_eq!(leaves, vec![0, 2], "A (leaf 0) and C (leaf 2) start");
+        let after_a = d.complete_leaf(0, t(1.0), &strategy);
+        assert_eq!(after_a.len(), 1);
+        assert_eq!(after_a[0].leaf, 1, "B becomes executable after A");
+        assert!(d.complete_leaf(2, t(2.0), &strategy).is_empty());
+        assert!(!d.is_finished());
+        assert!(d.complete_leaf(1, t(3.0), &strategy).is_empty());
+        assert!(d.is_finished());
+    }
+
+    #[test]
+    fn complex_stage_pex_is_max_of_branches() {
+        // [[A || B] C]: branch pex 3 and 5 -> stage pex 5; EQF sees [5, 2].
+        let spec = TaskSpec::serial(vec![TaskSpec::parallel_simple(2), TaskSpec::simple()]);
+        let mut d = Decomposition::new(&spec, vec![3.0, 5.0, 2.0]);
+        assert_eq!(d.total_pex(), 7.0);
+        let strategy = SdaStrategy {
+            ssp: SspStrategy::Eqf,
+            psp: PspStrategy::Ud,
+        };
+        // dl = 14: slack_left = 14 - 7 = 7; stage 1 share 5/7 -> dl = 5 + 5 = 10.
+        let first = d.start(t(0.0), t(14.0), &strategy);
+        assert_eq!(first.len(), 2);
+        for r in &first {
+            assert_eq!(r.deadline, t(10.0));
+        }
+    }
+
+    #[test]
+    fn leaf_deadline_inspection() {
+        let spec = TaskSpec::pipeline(2);
+        let mut d = Decomposition::new(&spec, vec![1.0, 1.0]);
+        let strategy = SdaStrategy::ud_ud();
+        assert_eq!(d.leaf_deadline(0), None);
+        d.start(t(0.0), t(4.0), &strategy);
+        assert_eq!(d.leaf_deadline(0), Some(t(4.0)));
+        assert_eq!(d.leaf_deadline(1), None, "stage 2 not yet released");
+    }
+
+    #[test]
+    fn single_simple_task() {
+        let mut d = Decomposition::new(&TaskSpec::simple(), vec![1.0]);
+        let strategy = SdaStrategy::eqf_div1();
+        let releases = d.start(t(0.0), t(3.0), &strategy);
+        assert_eq!(
+            releases,
+            vec![Release {
+                leaf: 0,
+                deadline: t(3.0)
+            }]
+        );
+        d.complete_leaf(0, t(1.0), &strategy);
+        assert!(d.is_finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "already started")]
+    fn double_start_panics() {
+        let mut d = Decomposition::new(&TaskSpec::simple(), vec![1.0]);
+        let s = SdaStrategy::ud_ud();
+        d.start(t(0.0), t(1.0), &s);
+        d.start(t(0.0), t(1.0), &s);
+    }
+
+    #[test]
+    #[should_panic(expected = "completed twice")]
+    fn double_complete_panics() {
+        let mut d = Decomposition::new(&TaskSpec::simple(), vec![1.0]);
+        let s = SdaStrategy::ud_ud();
+        d.start(t(0.0), t(1.0), &s);
+        d.complete_leaf(0, t(0.5), &s);
+        d.complete_leaf(0, t(0.6), &s);
+    }
+
+    #[test]
+    #[should_panic(expected = "before release")]
+    fn complete_unreleased_panics() {
+        let spec = TaskSpec::pipeline(2);
+        let mut d = Decomposition::new(&spec, vec![1.0, 1.0]);
+        let s = SdaStrategy::ud_ud();
+        d.start(t(0.0), t(4.0), &s);
+        d.complete_leaf(1, t(0.5), &s); // stage 2 hasn't been released
+    }
+
+    #[test]
+    #[should_panic(expected = "one pex per simple subtask")]
+    fn wrong_pex_arity_panics() {
+        Decomposition::new(&TaskSpec::pipeline(3), vec![1.0]);
+    }
+
+    #[test]
+    fn strategy_labels_match_table2() {
+        let labels: Vec<String> = SdaStrategy::table2().iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["UD-UD", "UD-DIV1", "EQF-UD", "EQF-DIV1"]);
+        assert_eq!(SdaStrategy::eqf_div1().to_string(), "EQF-DIV1");
+    }
+}

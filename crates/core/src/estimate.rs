@@ -1,0 +1,183 @@
+//! Execution-time estimation (`pex`) models.
+//!
+//! The SSP strategies ED/EQS/EQF consume *predicted* execution times. The
+//! paper does not assume accurate predictions: §8 notes EQF "delivers good
+//! performance even when the estimate can be off by a factor of 2". This
+//! module generates `pex` from the (hidden) real execution time with a
+//! configurable error model so that robustness claim can be reproduced
+//! (ablation A4 in DESIGN.md).
+
+use sda_simcore::rng::Rng;
+
+/// How the predicted execution time `pex(X)` is derived from the real
+/// execution time `ex(X)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum EstimationModel {
+    /// Perfect prediction: `pex = ex`.
+    Exact,
+    /// Log-uniform multiplicative error: `pex = ex · f^u` with
+    /// `u ~ U[−1, 1]`, so the prediction is off by at most a factor of
+    /// `f` in either direction (and unbiased in log space). The paper's
+    /// "off by a factor of 2" corresponds to `max_factor = 2`.
+    UniformFactor {
+        /// The maximum multiplicative error factor (≥ 1).
+        max_factor: f64,
+    },
+    /// Systematic bias: `pex = ex · factor` (always over- or
+    /// under-estimating by the same ratio).
+    Bias {
+        /// The constant multiplicative bias (> 0).
+        factor: f64,
+    },
+    /// No per-task information: every task is predicted to take `mean`
+    /// (what a scheduler knowing only the workload class could do).
+    ClassMean {
+        /// The class-wide mean prediction.
+        mean: f64,
+    },
+}
+
+impl EstimationModel {
+    /// Log-uniform error up to `max_factor` in either direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `max_factor ≥ 1` and finite.
+    pub fn uniform_factor(max_factor: f64) -> EstimationModel {
+        assert!(
+            max_factor.is_finite() && max_factor >= 1.0,
+            "max_factor must be finite and >= 1, got {max_factor}"
+        );
+        EstimationModel::UniformFactor { max_factor }
+    }
+
+    /// Constant multiplicative bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor > 0` and finite.
+    pub fn bias(factor: f64) -> EstimationModel {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "bias factor must be finite and positive, got {factor}"
+        );
+        EstimationModel::Bias { factor }
+    }
+
+    /// Produces the prediction for a task whose real execution time is
+    /// `ex`, drawing any randomness from `rng`.
+    ///
+    /// ```
+    /// use sda_core::EstimationModel;
+    /// use sda_simcore::rng::Rng;
+    ///
+    /// let mut rng = Rng::seed_from(1);
+    /// let model = EstimationModel::uniform_factor(2.0); // §8's "off by 2x"
+    /// let pex = model.predict(4.0, &mut rng);
+    /// assert!((2.0..=8.0).contains(&pex));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ex` is negative.
+    pub fn predict(&self, ex: f64, rng: &mut Rng) -> f64 {
+        assert!(ex >= 0.0, "execution time must be non-negative, got {ex}");
+        match *self {
+            EstimationModel::Exact => ex,
+            EstimationModel::UniformFactor { max_factor } => {
+                let u = 2.0 * rng.next_f64() - 1.0; // U[-1, 1]
+                ex * max_factor.powf(u)
+            }
+            EstimationModel::Bias { factor } => ex * factor,
+            EstimationModel::ClassMean { mean } => mean,
+        }
+    }
+}
+
+impl Default for EstimationModel {
+    /// The paper's §8 experiment uses predictions; `Exact` is the neutral
+    /// default from which error is an explicit opt-in.
+    fn default() -> EstimationModel {
+        EstimationModel::Exact
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_is_identity() {
+        let mut rng = Rng::seed_from(1);
+        assert_eq!(EstimationModel::Exact.predict(3.5, &mut rng), 3.5);
+    }
+
+    #[test]
+    fn uniform_factor_stays_within_bounds() {
+        let model = EstimationModel::uniform_factor(2.0);
+        let mut rng = Rng::seed_from(2);
+        for _ in 0..10_000 {
+            let pex = model.predict(4.0, &mut rng);
+            assert!((2.0..=8.0).contains(&pex), "pex {pex} outside [ex/2, 2ex]");
+        }
+    }
+
+    #[test]
+    fn uniform_factor_is_log_unbiased() {
+        let model = EstimationModel::uniform_factor(2.0);
+        let mut rng = Rng::seed_from(3);
+        let n = 100_000;
+        let log_mean: f64 = (0..n)
+            .map(|_| model.predict(1.0, &mut rng).ln())
+            .sum::<f64>()
+            / n as f64;
+        assert!(log_mean.abs() < 0.01, "log-mean was {log_mean}");
+    }
+
+    #[test]
+    fn uniform_factor_one_is_exact() {
+        let model = EstimationModel::uniform_factor(1.0);
+        let mut rng = Rng::seed_from(4);
+        assert!((model.predict(5.0, &mut rng) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_scales() {
+        let mut rng = Rng::seed_from(5);
+        assert_eq!(EstimationModel::bias(2.0).predict(3.0, &mut rng), 6.0);
+        assert_eq!(EstimationModel::bias(0.5).predict(3.0, &mut rng), 1.5);
+    }
+
+    #[test]
+    fn class_mean_ignores_ex() {
+        let model = EstimationModel::ClassMean { mean: 1.0 };
+        let mut rng = Rng::seed_from(6);
+        assert_eq!(model.predict(100.0, &mut rng), 1.0);
+        assert_eq!(model.predict(0.01, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn default_is_exact() {
+        assert_eq!(EstimationModel::default(), EstimationModel::Exact);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn uniform_factor_below_one_panics() {
+        EstimationModel::uniform_factor(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bias_zero_panics() {
+        EstimationModel::bias(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_ex_panics() {
+        let mut rng = Rng::seed_from(7);
+        EstimationModel::Exact.predict(-1.0, &mut rng);
+    }
+}

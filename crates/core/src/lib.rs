@@ -1,0 +1,46 @@
+//! # sda-core — subtask deadline assignment (the paper's contribution)
+//!
+//! On-line strategies that break a global task's end-to-end deadline into
+//! *virtual deadlines* for its subtasks, from Kao & Garcia-Molina,
+//! *Subtask Deadline Assignment for Complex Distributed Soft Real-Time
+//! Tasks* (ICDCS 1994):
+//!
+//! * **PSP** (parallel subtask problem, §4): [`PspStrategy`] — **UD**
+//!   (ultimate deadline), **DIV-x** (divide the window by `n·x`), and
+//!   **GF** (globals first, a Δ-shift below every local deadline);
+//! * **SSP** (serial subtask problem, §8 and the companion ICDCS '93
+//!   paper): [`SspStrategy`] — **UD**, **ED** (effective deadline),
+//!   **EQS** (equal slack), and **EQF** (equal flexibility);
+//! * the recursive **SDA algorithm** of Figure 13, which applies SSP/PSP
+//!   stage by stage over an arbitrary serial-parallel task graph:
+//!   [`Decomposition`];
+//! * the [`EstimationModel`] producing the predicted execution times
+//!   (`pex`) that ED/EQS/EQF consume, with configurable error;
+//! * closed-form helpers for the miss-rate amplification argument of §4
+//!   ([`analysis`]).
+//!
+//! ```
+//! use sda_core::PspStrategy;
+//! use sda_simcore::SimTime;
+//!
+//! // The Figure 4 example: T = [T1 || T2 || T3], ar = 0, dl = 9.
+//! let ar = SimTime::ZERO;
+//! let dl = SimTime::from(9.0);
+//! assert_eq!(PspStrategy::Ud.assign(ar, dl, 3), dl);
+//! assert_eq!(PspStrategy::div(1.0).assign(ar, dl, 3), SimTime::from(3.0));
+//! assert_eq!(PspStrategy::div(2.0).assign(ar, dl, 3), SimTime::from(1.5));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+mod decompose;
+mod estimate;
+mod psp;
+mod ssp;
+
+pub use decompose::{Decomposition, Release, SdaStrategy};
+pub use estimate::EstimationModel;
+pub use psp::{PspStrategy, DEFAULT_GF_DELTA};
+pub use ssp::SspStrategy;

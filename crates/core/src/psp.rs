@@ -1,0 +1,215 @@
+//! Strategies for the parallel subtask problem (§4.1).
+
+use std::fmt;
+
+use sda_simcore::SimTime;
+
+/// The default Δ for [`PspStrategy::Gf`]: much larger than any simulated
+/// horizon, so a GF subtask always sorts ahead of every local task under
+/// EDF while preserving EDF order among GF subtasks.
+pub const DEFAULT_GF_DELTA: f64 = 1.0e9;
+
+/// A deadline-assignment strategy for *parallel* subtasks.
+///
+/// Given a parallel global task `T = [T1 ‖ … ‖ Tn]` with arrival `ar(T)`
+/// and (possibly virtual) deadline `dl(T)`, the strategy chooses the
+/// virtual deadline every subtask is submitted with (§4.1):
+///
+/// * **UD** — `dl(Ti) = dl(T)`: subtasks inherit the global deadline and
+///   compete with locals on equal footing (the paper's base case);
+/// * **DIV-x** — `dl(Ti) = [dl(T) − ar(T)]/(n·x) + ar(T)` (Equation 1):
+///   the window is divided by `x` times the number of subtasks, so the
+///   priority boost grows automatically with fan-out;
+/// * **GF** — `dl(Ti) = dl(T) − Δ` for a huge Δ: globals are always served
+///   before locals, with EDF order preserved within each class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PspStrategy {
+    /// Ultimate deadline: subtasks inherit `dl(T)` unchanged.
+    Ud,
+    /// DIV-x (Equation 1) with the given `x > 0`.
+    DivX {
+        /// The division factor; larger means earlier virtual deadlines.
+        x: f64,
+    },
+    /// Globals-first: subtract `delta` from `dl(T)`.
+    Gf {
+        /// The shift Δ; must exceed every deadline the locals can have for
+        /// the "globals always first" reading to hold.
+        delta: f64,
+    },
+}
+
+impl PspStrategy {
+    /// `DIV-x` with the given factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x` is finite and positive.
+    pub fn div(x: f64) -> PspStrategy {
+        assert!(
+            x.is_finite() && x > 0.0,
+            "DIV-x needs finite x > 0, got {x}"
+        );
+        PspStrategy::DivX { x }
+    }
+
+    /// `GF` with the default Δ ([`DEFAULT_GF_DELTA`]).
+    pub fn gf() -> PspStrategy {
+        PspStrategy::Gf {
+            delta: DEFAULT_GF_DELTA,
+        }
+    }
+
+    /// Computes the virtual deadline for each of the `n` parallel subtasks
+    /// of a global task that arrived at `ar` with deadline `dl`.
+    ///
+    /// All `n` subtasks receive the *same* virtual deadline — the
+    /// strategies of §4.1 do not differentiate among parallel siblings
+    /// (they are statistically identical in the paper's model).
+    ///
+    /// If the parallel task is already late (`dl < ar`, which an enclosing
+    /// SSP stage can produce under overload), DIV-x passes the deadline
+    /// through unchanged: there is no positive window left to divide, and
+    /// passing `dl` through keeps the EDF order identical to UD's for
+    /// expired tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn assign(&self, ar: SimTime, dl: SimTime, n: usize) -> SimTime {
+        assert!(n > 0, "a parallel task has at least one subtask");
+        match *self {
+            PspStrategy::Ud => dl,
+            PspStrategy::DivX { x } => {
+                let window = dl - ar;
+                if window <= 0.0 {
+                    dl
+                } else {
+                    ar + window / (n as f64 * x)
+                }
+            }
+            PspStrategy::Gf { delta } => dl - delta,
+        }
+    }
+
+    /// A short machine-friendly label (`UD`, `DIV-1`, `DIV-2.5`, `GF`).
+    pub fn label(&self) -> String {
+        match *self {
+            PspStrategy::Ud => "UD".to_string(),
+            PspStrategy::DivX { x } => {
+                if (x - x.round()).abs() < 1e-12 {
+                    format!("DIV-{}", x.round() as i64)
+                } else {
+                    format!("DIV-{x}")
+                }
+            }
+            PspStrategy::Gf { .. } => "GF".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for PspStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f64) -> SimTime {
+        SimTime::from(v)
+    }
+
+    #[test]
+    fn figure4_worked_example() {
+        // T = [T1 || T2 || T3], arrival 0, deadline 9 (Figure 4).
+        let (ar, dl, n) = (t(0.0), t(9.0), 3);
+        assert_eq!(PspStrategy::Ud.assign(ar, dl, n), t(9.0));
+        assert_eq!(PspStrategy::div(1.0).assign(ar, dl, n), t(3.0));
+        assert_eq!(PspStrategy::div(2.0).assign(ar, dl, n), t(1.5));
+        let gf = PspStrategy::gf().assign(ar, dl, n);
+        assert_eq!(gf, t(9.0 - DEFAULT_GF_DELTA));
+    }
+
+    #[test]
+    fn div_is_relative_to_arrival_not_absolute_zero() {
+        // Equation 1 adds ar(T) back: at ar = 100, window 9, n = 3, x = 1
+        // the virtual deadline is 103, not 3.
+        let got = PspStrategy::div(1.0).assign(t(100.0), t(109.0), 3);
+        assert_eq!(got, t(103.0));
+    }
+
+    #[test]
+    fn div_monotone_in_x_and_n() {
+        let (ar, dl) = (t(0.0), t(12.0));
+        let d1 = PspStrategy::div(1.0).assign(ar, dl, 4);
+        let d2 = PspStrategy::div(2.0).assign(ar, dl, 4);
+        assert!(d2 < d1, "larger x gives earlier deadlines");
+        let n2 = PspStrategy::div(1.0).assign(ar, dl, 2);
+        let n6 = PspStrategy::div(1.0).assign(ar, dl, 6);
+        assert!(n6 < n2, "more subtasks gives earlier deadlines");
+    }
+
+    #[test]
+    fn div_never_earlier_than_arrival() {
+        // §4.1: "the virtual deadlines assigned to the subtasks are,
+        // however big x is, later than the task's arrival time".
+        let got = PspStrategy::div(100.0).assign(t(5.0), t(10.0), 6);
+        assert!(got > t(5.0));
+        assert!(got < t(10.0));
+    }
+
+    #[test]
+    fn gf_preserves_edf_order_within_globals() {
+        let gf = PspStrategy::gf();
+        let a = gf.assign(t(0.0), t(5.0), 2);
+        let b = gf.assign(t(0.0), t(7.0), 2);
+        assert!(a < b, "earlier real deadline stays earlier under GF");
+    }
+
+    #[test]
+    fn gf_beats_any_local_deadline() {
+        // A local task deadline can never be below its arrival (≥ 0 here);
+        // GF subtask deadlines are below every reachable time.
+        let gf = PspStrategy::gf().assign(t(0.0), t(1.0e6), 4);
+        assert!(gf < t(0.0));
+    }
+
+    #[test]
+    fn ud_is_identity() {
+        assert_eq!(PspStrategy::Ud.assign(t(3.0), t(8.0), 17), t(8.0));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PspStrategy::Ud.label(), "UD");
+        assert_eq!(PspStrategy::div(1.0).label(), "DIV-1");
+        assert_eq!(PspStrategy::div(2.0).label(), "DIV-2");
+        assert_eq!(PspStrategy::div(0.5).label(), "DIV-0.5");
+        assert_eq!(PspStrategy::gf().label(), "GF");
+        assert_eq!(PspStrategy::gf().to_string(), "GF");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one subtask")]
+    fn zero_subtasks_panics() {
+        PspStrategy::Ud.assign(t(0.0), t(1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite x > 0")]
+    fn div_zero_x_panics() {
+        PspStrategy::div(0.0);
+    }
+
+    #[test]
+    fn div_expired_window_passes_deadline_through() {
+        // An enclosing EQF stage can hand DIV-x a deadline in the past
+        // under overload; DIV-x must degrade to UD there, not postpone.
+        assert_eq!(PspStrategy::div(1.0).assign(t(5.0), t(4.0), 2), t(4.0));
+        assert_eq!(PspStrategy::div(3.0).assign(t(5.0), t(5.0), 4), t(5.0));
+    }
+}

@@ -1,0 +1,6 @@
+//! Ablation A10: transient overload via ON/OFF arrival bursts.
+fn main() {
+    let scale = sda_experiments::Scale::from_args();
+    eprintln!("running ablation A10 at scale {scale}...");
+    print!("{}", sda_experiments::ablations::burstiness(scale));
+}

@@ -1,0 +1,6 @@
+//! Ablation A6: heterogeneous node speeds (the open-systems setting).
+fn main() {
+    let scale = sda_experiments::Scale::from_args();
+    eprintln!("running ablation A6 at scale {scale}...");
+    print!("{}", sda_experiments::ablations::heterogeneous_nodes(scale));
+}

@@ -1,0 +1,7 @@
+//! Ablation A1: DIV-x under local-scheduler abortion (§7.3's
+//! results-not-shown claim).
+fn main() {
+    let scale = sda_experiments::Scale::from_args();
+    eprintln!("running ablation A1 at scale {scale}...");
+    print!("{}", sda_experiments::ablations::local_abort(scale));
+}

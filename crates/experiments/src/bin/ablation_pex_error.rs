@@ -1,0 +1,6 @@
+//! Ablation A4: EQF's robustness to execution-time estimation error.
+fn main() {
+    let scale = sda_experiments::Scale::from_args();
+    eprintln!("running ablation A4 at scale {scale}...");
+    print!("{}", sda_experiments::ablations::pex_error(scale));
+}

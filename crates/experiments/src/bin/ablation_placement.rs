@@ -1,0 +1,6 @@
+//! Ablation A9: random vs least-loaded subtask placement.
+fn main() {
+    let scale = sda_experiments::Scale::from_args();
+    eprintln!("running ablation A9 at scale {scale}...");
+    print!("{}", sda_experiments::ablations::placement(scale));
+}

@@ -1,0 +1,6 @@
+//! Ablation A7: non-preemptive vs preemptive EDF.
+fn main() {
+    let scale = sda_experiments::Scale::from_args();
+    eprintln!("running ablation A7 at scale {scale}...");
+    print!("{}", sda_experiments::ablations::preemption(scale));
+}

@@ -1,0 +1,6 @@
+//! Ablation A2: EDF vs FCFS vs SJF local schedulers.
+fn main() {
+    let scale = sda_experiments::Scale::from_args();
+    eprintln!("running ablation A2 at scale {scale}...");
+    print!("{}", sda_experiments::ablations::sched_policies(scale));
+}

@@ -1,0 +1,7 @@
+//! Ablation A8: service-time distribution shapes (is PSP a variance
+//! artifact?).
+fn main() {
+    let scale = sda_experiments::Scale::from_args();
+    eprintln!("running ablation A8 at scale {scale}...");
+    print!("{}", sda_experiments::ablations::service_shapes(scale));
+}

@@ -1,0 +1,6 @@
+//! Ablation A3: the SSP family (UD/ED/EQS/EQF) on a serial pipeline.
+fn main() {
+    let scale = sda_experiments::Scale::from_args();
+    eprintln!("running ablation A3 at scale {scale}...");
+    print!("{}", sda_experiments::ablations::ssp_family(scale));
+}

@@ -1,0 +1,6 @@
+//! Ablation A5: sensitivity of GF to the Δ shift.
+fn main() {
+    let scale = sda_experiments::Scale::from_args();
+    eprintln!("running ablation A5 at scale {scale}...");
+    print!("{}", sda_experiments::ablations::gf_delta(scale));
+}

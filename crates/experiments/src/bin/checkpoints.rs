@@ -1,0 +1,8 @@
+//! Reruns the paper's in-text numeric checkpoints (§6.1 and §7.3) and
+//! prints paper vs measured.
+fn main() {
+    let scale = sda_experiments::Scale::from_args();
+    eprintln!("running checkpoints at scale {scale}...");
+    let (table, _) = sda_experiments::checkpoints::run(scale);
+    print!("{table}");
+}

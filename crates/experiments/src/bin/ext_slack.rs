@@ -1,0 +1,7 @@
+//! Extension E2: EQF's gain versus slack tightness (§8's claim 2).
+fn main() {
+    let scale = sda_experiments::Scale::from_args();
+    eprintln!("running extension E2 at scale {scale}...");
+    let (table, _) = sda_experiments::extensions::slack_sweep(scale);
+    print!("{table}");
+}

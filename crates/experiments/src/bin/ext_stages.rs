@@ -1,0 +1,7 @@
+//! Extension E1: EQF's gain versus serial stage count (§8's claim 1).
+fn main() {
+    let scale = sda_experiments::Scale::from_args();
+    eprintln!("running extension E1 at scale {scale}...");
+    let (table, _) = sda_experiments::extensions::stage_sweep(scale);
+    print!("{table}");
+}

@@ -1,0 +1,16 @@
+//! Regenerates the paper's Figure 15.
+//!
+//! Flags: `--scale quick|default|paper`, `--csv`, `--plot`.
+fn main() {
+    let scale = sda_experiments::Scale::from_args();
+    eprintln!("running fig15 at scale {scale}...");
+    let result = sda_experiments::figures::fig15(scale);
+    print!("{}", result.table);
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--csv") {
+        print!("{}", result.table.to_csv());
+    }
+    if args.iter().any(|a| a == "--plot") {
+        print!("{}", result.plot("fig15", "load"));
+    }
+}

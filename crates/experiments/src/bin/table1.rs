@@ -1,0 +1,5 @@
+//! Prints the paper's Table 1 (baseline setting) as encoded by
+//! `SimConfig::baseline()`, with the derived arrival rates.
+fn main() {
+    print!("{}", sda_experiments::tables::table1());
+}

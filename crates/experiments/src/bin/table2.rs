@@ -1,0 +1,4 @@
+//! Prints the paper's Table 2 (the SSP × PSP strategy combinations).
+fn main() {
+    print!("{}", sda_experiments::tables::table2());
+}

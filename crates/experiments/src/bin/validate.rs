@@ -1,0 +1,25 @@
+//! Reproduction self-check: evaluates every qualitative claim the paper
+//! makes about its figures, plus the in-text numeric checkpoints, and
+//! exits non-zero if any fails.
+//!
+//! Usage: `validate [--scale quick|default|paper]`
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let scale = sda_experiments::Scale::from_args();
+    eprintln!("validating reproduction claims at scale {scale}...");
+    let results = sda_experiments::claims::validate(scale);
+    print!("{}", sda_experiments::claims::render(&results));
+    let failures = results.iter().filter(|r| !r.pass).count();
+    println!(
+        "\n{} / {} claims hold at this scale",
+        results.len() - failures,
+        results.len()
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,154 @@
+//! Real-time task attributes (§3.1).
+
+use sda_simcore::SimTime;
+
+/// The real-time attributes of a task (local task, simple subtask, or
+/// global task), as defined in §3.1 of the paper:
+///
+/// ```text
+/// ar(X)  = arrival (or submission) time of X
+/// dl(X)  = deadline of X
+/// sl(X)  = slack of X
+/// ex(X)  = real execution time of X
+/// pex(X) = predicted execution time of X
+/// ```
+///
+/// related by `dl(X) = ar(X) + ex(X) + sl(X)`.
+///
+/// `ex` is known to the *workload generator* (it draws it) but not to the
+/// schedulers; strategies may only consult `pex`, the estimate.
+///
+/// ```
+/// use sda_model::Attrs;
+/// use sda_simcore::SimTime;
+///
+/// let a = Attrs::from_slack(SimTime::from(0.0), 4.0, 2.0, 4.0);
+/// assert_eq!(a.dl, SimTime::from(6.0)); // ar + ex + sl
+/// assert_eq!(a.slack(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Attrs {
+    /// Arrival (submission) time.
+    pub ar: SimTime,
+    /// Deadline. For subtasks this may be a *virtual* deadline assigned by
+    /// a deadline-assignment strategy; the end-to-end deadline of the
+    /// enclosing global task is tracked separately by the process manager.
+    pub dl: SimTime,
+    /// Real execution time (drawn by the generator; hidden from schedulers).
+    pub ex: f64,
+    /// Predicted execution time (the estimate strategies may use).
+    pub pex: f64,
+}
+
+impl Attrs {
+    /// Builds attributes from arrival time, execution time, slack, and the
+    /// prediction, deriving the deadline as `ar + ex + sl`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ex` is negative.
+    pub fn from_slack(ar: SimTime, ex: f64, slack: f64, pex: f64) -> Attrs {
+        assert!(ex >= 0.0, "execution time must be non-negative, got {ex}");
+        Attrs {
+            ar,
+            dl: ar + (ex + slack),
+            ex,
+            pex,
+        }
+    }
+
+    /// Builds attributes with an explicitly given deadline.
+    ///
+    /// Used for global tasks whose deadline is derived from the *longest*
+    /// subtask (Equation 2) rather than from their own execution time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ex` is negative.
+    pub fn with_deadline(ar: SimTime, dl: SimTime, ex: f64, pex: f64) -> Attrs {
+        assert!(ex >= 0.0, "execution time must be non-negative, got {ex}");
+        Attrs { ar, dl, ex, pex }
+    }
+
+    /// The slack `sl(X) = dl(X) − ar(X) − ex(X)`.
+    ///
+    /// May be negative if the deadline is infeasibly tight.
+    pub fn slack(&self) -> f64 {
+        self.dl - self.ar - self.ex
+    }
+
+    /// The total window `dl(X) − ar(X)` the task has to complete.
+    pub fn window(&self) -> f64 {
+        self.dl - self.ar
+    }
+
+    /// Whether a task finishing at `finish` meets this deadline.
+    ///
+    /// The paper counts a task as on time when it completes no later than
+    /// its deadline.
+    pub fn met_by(&self, finish: SimTime) -> bool {
+        finish <= self.dl
+    }
+
+    /// Returns a copy with the deadline replaced by `virtual_dl`.
+    ///
+    /// This is the fundamental operation of every deadline-assignment
+    /// strategy: the subtask keeps its arrival, execution, and prediction,
+    /// but is *presented* to the local scheduler with an earlier deadline.
+    pub fn with_virtual_deadline(&self, virtual_dl: SimTime) -> Attrs {
+        Attrs {
+            dl: virtual_dl,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f64) -> SimTime {
+        SimTime::from(v)
+    }
+
+    #[test]
+    fn identity_dl_eq_ar_plus_ex_plus_sl() {
+        let a = Attrs::from_slack(t(10.0), 2.0, 3.0, 2.0);
+        assert_eq!(a.dl, t(15.0));
+        assert!((a.slack() - 3.0).abs() < 1e-12);
+        assert!((a.window() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_deadline_slack_can_be_negative() {
+        let a = Attrs::with_deadline(t(0.0), t(1.0), 4.0, 4.0);
+        assert!((a.slack() + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn met_by_is_inclusive() {
+        let a = Attrs::from_slack(t(0.0), 1.0, 1.0, 1.0);
+        assert!(a.met_by(t(2.0)));
+        assert!(a.met_by(t(1.5)));
+        assert!(!a.met_by(t(2.0001)));
+    }
+
+    #[test]
+    fn virtual_deadline_preserves_other_fields() {
+        let a = Attrs::from_slack(t(0.0), 4.0, 2.0, 5.0);
+        let v = a.with_virtual_deadline(t(3.0));
+        assert_eq!(v.dl, t(3.0));
+        assert_eq!(v.ar, a.ar);
+        assert_eq!(v.ex, a.ex);
+        assert_eq!(v.pex, a.pex);
+        // Equation 3 intuition: shrinking the deadline shrinks the slack.
+        assert!(v.slack() < a.slack());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_execution_time_rejected() {
+        Attrs::from_slack(t(0.0), -1.0, 0.0, 0.0);
+    }
+}

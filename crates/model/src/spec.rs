@@ -1,0 +1,450 @@
+//! The recursive serial-parallel task structure (rules GT1–GT3).
+
+use std::fmt;
+
+/// A serial-parallel (global) task structure, per §3.1 of the paper:
+///
+/// * **GT1** — a [`TaskSpec::Simple`] is a single subtask executed at one
+///   and only one node;
+/// * **GT2** — `[T1 T2 … Tn]` ([`TaskSpec::Serial`]) executes its children
+///   in series: child *i* cannot start before child *i−1* finishes;
+/// * **GT3** — `[T1 ‖ T2 ‖ … ‖ Tn]` ([`TaskSpec::Parallel`]) starts all
+///   children simultaneously and finishes when the last one finishes.
+///
+/// A `TaskSpec` is pure *structure*: which node each simple subtask runs on
+/// and how long it executes are bound later, when the workload generator
+/// instantiates the spec into a running task.
+///
+/// ```
+/// use sda_model::TaskSpec;
+///
+/// // The paper's introductory example: five parallel subtasks, then T2.
+/// let spec = TaskSpec::serial(vec![
+///     TaskSpec::parallel_simple(5),
+///     TaskSpec::simple(),
+/// ]);
+/// assert_eq!(spec.simple_count(), 6);
+/// assert_eq!(spec.stage_count(), 2);
+/// assert_eq!(spec.max_fanout(), 5);
+/// assert_eq!(spec.to_string(), "[[T1 || T2 || T3 || T4 || T5] T6]");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TaskSpec {
+    /// A simple subtask (GT1): one unit of work at one node.
+    Simple,
+    /// Serial composition (GT2): children execute left to right.
+    Serial(Vec<TaskSpec>),
+    /// Parallel composition (GT3): children execute concurrently; the
+    /// composite finishes when all children finish.
+    Parallel(Vec<TaskSpec>),
+}
+
+/// Error returned by [`TaskSpec::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecValidationError {
+    /// A serial composition with no children.
+    EmptySerial,
+    /// A parallel composition with no children.
+    EmptyParallel,
+}
+
+impl fmt::Display for SpecValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecValidationError::EmptySerial => write!(f, "serial composition has no children"),
+            SpecValidationError::EmptyParallel => {
+                write!(f, "parallel composition has no children")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecValidationError {}
+
+impl TaskSpec {
+    /// A single simple subtask (GT1).
+    pub fn simple() -> TaskSpec {
+        TaskSpec::Simple
+    }
+
+    /// Serial composition of `children` (GT2).
+    pub fn serial(children: Vec<TaskSpec>) -> TaskSpec {
+        TaskSpec::Serial(children)
+    }
+
+    /// Parallel composition of `children` (GT3).
+    pub fn parallel(children: Vec<TaskSpec>) -> TaskSpec {
+        TaskSpec::Parallel(children)
+    }
+
+    /// `[T1 ‖ … ‖ Tn]`: `n` simple subtasks in parallel — the shape studied
+    /// throughout §4–§7 (Figure 3).
+    pub fn parallel_simple(n: usize) -> TaskSpec {
+        TaskSpec::Parallel(vec![TaskSpec::Simple; n])
+    }
+
+    /// `[T1 … Tn]`: a pipeline of `n` simple subtasks — the shape of the
+    /// serial subtask problem (§8).
+    pub fn pipeline(n: usize) -> TaskSpec {
+        TaskSpec::Serial(vec![TaskSpec::Simple; n])
+    }
+
+    /// A pipeline of `stages` serial stages where the stages listed in
+    /// `fanouts` (as `(stage_index, width)` pairs, 0-based) are parallel
+    /// complex subtasks of `width` simple subtasks, and all other stages
+    /// are simple.
+    ///
+    /// `pipeline_with_fanout(5, &[(1, 4), (3, 4)])` is the Figure 14 task
+    /// graph used in the §8 experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fanout index is out of range or a width is zero.
+    pub fn pipeline_with_fanout(stages: usize, fanouts: &[(usize, usize)]) -> TaskSpec {
+        let mut children = vec![TaskSpec::Simple; stages];
+        for &(index, width) in fanouts {
+            assert!(
+                index < stages,
+                "fanout stage {index} out of range 0..{stages}"
+            );
+            assert!(width > 0, "fanout width must be positive");
+            children[index] = TaskSpec::parallel_simple(width);
+        }
+        TaskSpec::Serial(children)
+    }
+
+    /// Checks that every composition in the tree is non-empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found in a depth-first traversal.
+    pub fn validate(&self) -> Result<(), SpecValidationError> {
+        match self {
+            TaskSpec::Simple => Ok(()),
+            TaskSpec::Serial(children) => {
+                if children.is_empty() {
+                    return Err(SpecValidationError::EmptySerial);
+                }
+                children.iter().try_for_each(TaskSpec::validate)
+            }
+            TaskSpec::Parallel(children) => {
+                if children.is_empty() {
+                    return Err(SpecValidationError::EmptyParallel);
+                }
+                children.iter().try_for_each(TaskSpec::validate)
+            }
+        }
+    }
+
+    /// True for a simple subtask (GT1).
+    pub fn is_simple(&self) -> bool {
+        matches!(self, TaskSpec::Simple)
+    }
+
+    /// Number of simple subtasks in the whole tree.
+    pub fn simple_count(&self) -> usize {
+        match self {
+            TaskSpec::Simple => 1,
+            TaskSpec::Serial(children) | TaskSpec::Parallel(children) => {
+                children.iter().map(TaskSpec::simple_count).sum()
+            }
+        }
+    }
+
+    /// Number of top-level serial stages: the length of the outermost
+    /// serial composition, or 1 for anything else.
+    pub fn stage_count(&self) -> usize {
+        match self {
+            TaskSpec::Serial(children) => children.len(),
+            _ => 1,
+        }
+    }
+
+    /// Maximum parallel fan-out anywhere in the tree (1 if no parallelism).
+    pub fn max_fanout(&self) -> usize {
+        match self {
+            TaskSpec::Simple => 1,
+            TaskSpec::Serial(children) => {
+                children.iter().map(TaskSpec::max_fanout).max().unwrap_or(1)
+            }
+            TaskSpec::Parallel(children) => children
+                .len()
+                .max(children.iter().map(TaskSpec::max_fanout).max().unwrap_or(1)),
+        }
+    }
+
+    /// Nesting depth: 1 for a simple subtask, 1 + max child depth for a
+    /// composition.
+    pub fn depth(&self) -> usize {
+        match self {
+            TaskSpec::Simple => 1,
+            TaskSpec::Serial(children) | TaskSpec::Parallel(children) => {
+                1 + children.iter().map(TaskSpec::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// The critical-path length of the tree given per-leaf execution times
+    /// in depth-first (left-to-right) leaf order: the sum over serial
+    /// stages of the max over parallel branches.
+    ///
+    /// This is the minimum possible makespan of the task on an idle system,
+    /// and the quantity the workload generator adds slack to when deriving
+    /// end-to-end deadlines (the serial-parallel generalization of
+    /// Equation 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_ex.len() != self.simple_count()`.
+    pub fn critical_path(&self, leaf_ex: &[f64]) -> f64 {
+        assert_eq!(
+            leaf_ex.len(),
+            self.simple_count(),
+            "need one execution time per simple subtask"
+        );
+        let mut cursor = 0usize;
+        let result = self.critical_path_inner(leaf_ex, &mut cursor);
+        debug_assert_eq!(cursor, leaf_ex.len());
+        result
+    }
+
+    fn critical_path_inner(&self, leaf_ex: &[f64], cursor: &mut usize) -> f64 {
+        match self {
+            TaskSpec::Simple => {
+                let ex = leaf_ex[*cursor];
+                *cursor += 1;
+                ex
+            }
+            TaskSpec::Serial(children) => children
+                .iter()
+                .map(|c| c.critical_path_inner(leaf_ex, cursor))
+                .sum(),
+            TaskSpec::Parallel(children) => children
+                .iter()
+                .map(|c| c.critical_path_inner(leaf_ex, cursor))
+                .fold(0.0, f64::max),
+        }
+    }
+
+    /// Returns a semantically equivalent normal form: same-kind nested
+    /// compositions are flattened (`[T1 [T2 T3]]` ≡ `[T1 T2 T3]`) and
+    /// single-child compositions are unwrapped (`[T1]` ≡ `T1`).
+    ///
+    /// Execution semantics (who can start when) are unchanged; only the
+    /// tree shape differs.
+    pub fn normalized(&self) -> TaskSpec {
+        match self {
+            TaskSpec::Simple => TaskSpec::Simple,
+            TaskSpec::Serial(children) => {
+                let mut flat = Vec::with_capacity(children.len());
+                for child in children {
+                    match child.normalized() {
+                        TaskSpec::Serial(grand) => flat.extend(grand),
+                        other => flat.push(other),
+                    }
+                }
+                if flat.len() == 1 {
+                    flat.pop().expect("len checked")
+                } else {
+                    TaskSpec::Serial(flat)
+                }
+            }
+            TaskSpec::Parallel(children) => {
+                let mut flat = Vec::with_capacity(children.len());
+                for child in children {
+                    match child.normalized() {
+                        TaskSpec::Parallel(grand) => flat.extend(grand),
+                        other => flat.push(other),
+                    }
+                }
+                if flat.len() == 1 {
+                    flat.pop().expect("len checked")
+                } else {
+                    TaskSpec::Parallel(flat)
+                }
+            }
+        }
+    }
+
+    fn fmt_inner(&self, f: &mut fmt::Formatter<'_>, next_leaf: &mut usize) -> fmt::Result {
+        match self {
+            TaskSpec::Simple => {
+                *next_leaf += 1;
+                write!(f, "T{next_leaf}")
+            }
+            TaskSpec::Serial(children) => {
+                write!(f, "[")?;
+                for (i, child) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    child.fmt_inner(f, next_leaf)?;
+                }
+                write!(f, "]")
+            }
+            TaskSpec::Parallel(children) => {
+                write!(f, "[")?;
+                for (i, child) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    child.fmt_inner(f, next_leaf)?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl fmt::Display for TaskSpec {
+    /// Prints the paper's bracket notation, numbering the simple subtasks
+    /// `T1, T2, …` in depth-first order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut next_leaf = 0usize;
+        self.fmt_inner(f, &mut next_leaf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 1 example: `[T1 [T2 || [T3 T4 T5]] [T6 || T7] T8]`.
+    fn figure1() -> TaskSpec {
+        TaskSpec::serial(vec![
+            TaskSpec::simple(),
+            TaskSpec::parallel(vec![TaskSpec::simple(), TaskSpec::pipeline(3)]),
+            TaskSpec::parallel(vec![TaskSpec::simple(), TaskSpec::simple()]),
+            TaskSpec::simple(),
+        ])
+    }
+
+    #[test]
+    fn figure1_structure() {
+        let spec = figure1();
+        assert_eq!(spec.simple_count(), 8);
+        assert_eq!(spec.stage_count(), 4);
+        assert_eq!(spec.depth(), 4);
+        assert_eq!(spec.max_fanout(), 2);
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.to_string(), "[T1 [T2 || [T3 T4 T5]] [T6 || T7] T8]");
+    }
+
+    #[test]
+    fn figure14_structure() {
+        let spec = TaskSpec::pipeline_with_fanout(5, &[(1, 4), (3, 4)]);
+        assert_eq!(spec.simple_count(), 11);
+        assert_eq!(spec.stage_count(), 5);
+        assert_eq!(spec.max_fanout(), 4);
+        assert_eq!(
+            spec.to_string(),
+            "[T1 [T2 || T3 || T4 || T5] T6 [T7 || T8 || T9 || T10] T11]"
+        );
+    }
+
+    #[test]
+    fn parallel_simple_matches_psp_shape() {
+        let spec = TaskSpec::parallel_simple(4);
+        assert_eq!(spec.simple_count(), 4);
+        assert_eq!(spec.stage_count(), 1);
+        assert_eq!(spec.max_fanout(), 4);
+        assert_eq!(spec.depth(), 2);
+    }
+
+    #[test]
+    fn critical_path_serial_sums() {
+        let spec = TaskSpec::pipeline(3);
+        assert_eq!(spec.critical_path(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn critical_path_parallel_takes_max() {
+        // Equation 2: dl(T) is driven by max_i ex(T_i) for parallel tasks.
+        let spec = TaskSpec::parallel_simple(3);
+        assert_eq!(spec.critical_path(&[1.0, 5.0, 2.0]), 5.0);
+    }
+
+    #[test]
+    fn critical_path_mixed() {
+        // [A [B || [C D]] E] with ex A=1, B=10, C=2, D=3, E=1:
+        // stage2 = max(10, 2+3) = 10; total = 1 + 10 + 1 = 12.
+        let spec = TaskSpec::serial(vec![
+            TaskSpec::simple(),
+            TaskSpec::parallel(vec![TaskSpec::simple(), TaskSpec::pipeline(2)]),
+            TaskSpec::simple(),
+        ]);
+        assert_eq!(spec.critical_path(&[1.0, 10.0, 2.0, 3.0, 1.0]), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one execution time per simple subtask")]
+    fn critical_path_wrong_arity_panics() {
+        TaskSpec::pipeline(3).critical_path(&[1.0]);
+    }
+
+    #[test]
+    fn validate_rejects_empty_compositions() {
+        assert_eq!(
+            TaskSpec::serial(vec![]).validate(),
+            Err(SpecValidationError::EmptySerial)
+        );
+        assert_eq!(
+            TaskSpec::parallel(vec![]).validate(),
+            Err(SpecValidationError::EmptyParallel)
+        );
+        // Nested violations are found too.
+        let nested = TaskSpec::serial(vec![TaskSpec::simple(), TaskSpec::parallel(vec![])]);
+        assert_eq!(nested.validate(), Err(SpecValidationError::EmptyParallel));
+    }
+
+    #[test]
+    fn validation_error_display() {
+        assert_eq!(
+            SpecValidationError::EmptySerial.to_string(),
+            "serial composition has no children"
+        );
+    }
+
+    #[test]
+    fn normalized_flattens_and_unwraps() {
+        // [T1 [T2 T3]] => [T1 T2 T3]
+        let nested = TaskSpec::serial(vec![TaskSpec::simple(), TaskSpec::pipeline(2)]);
+        assert_eq!(nested.normalized(), TaskSpec::pipeline(3));
+        // [[T1]] => T1
+        let wrapped = TaskSpec::serial(vec![TaskSpec::serial(vec![TaskSpec::simple()])]);
+        assert_eq!(wrapped.normalized(), TaskSpec::Simple);
+        // Parallel-in-parallel flattens.
+        let par = TaskSpec::parallel(vec![TaskSpec::parallel_simple(2), TaskSpec::simple()]);
+        assert_eq!(par.normalized(), TaskSpec::parallel_simple(3));
+        // Serial inside parallel is preserved.
+        let mixed = TaskSpec::parallel(vec![TaskSpec::pipeline(2), TaskSpec::simple()]);
+        assert_eq!(mixed.normalized(), mixed.clone());
+    }
+
+    #[test]
+    fn normalized_preserves_simple_count_and_critical_path() {
+        let spec = TaskSpec::serial(vec![
+            TaskSpec::serial(vec![TaskSpec::simple(), TaskSpec::simple()]),
+            TaskSpec::parallel(vec![TaskSpec::parallel_simple(2), TaskSpec::simple()]),
+        ]);
+        let norm = spec.normalized();
+        assert_eq!(spec.simple_count(), norm.simple_count());
+        let ex = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(spec.critical_path(&ex), norm.critical_path(&ex));
+    }
+
+    #[test]
+    fn pipeline_constructors() {
+        assert_eq!(TaskSpec::pipeline(1).stage_count(), 1);
+        assert_eq!(TaskSpec::pipeline(4).to_string(), "[T1 T2 T3 T4]");
+        assert!(TaskSpec::simple().is_simple());
+        assert!(!TaskSpec::pipeline(2).is_simple());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pipeline_with_fanout_bad_index_panics() {
+        TaskSpec::pipeline_with_fanout(3, &[(5, 2)]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests of the task model: parser totality (no panics on
+//! arbitrary input) and normalization algebra.
+
+use proptest::prelude::*;
+
+use sda_model::{parse_spec, TaskSpec};
+
+fn arb_spec() -> impl Strategy<Value = TaskSpec> {
+    let leaf = Just(TaskSpec::Simple);
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..5).prop_map(TaskSpec::serial),
+            prop::collection::vec(inner, 1..5).prop_map(TaskSpec::parallel),
+        ]
+    })
+}
+
+proptest! {
+    /// The parser is total: any string either parses or returns an error,
+    /// never panics (fuzzing the tokenizer and recursive descent).
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse_spec(&input);
+    }
+
+    /// ... including inputs made only of the meaningful characters, which
+    /// reach much deeper into the grammar.
+    #[test]
+    fn parser_never_panics_on_grammar_alphabet(input in "[\\[\\]|T0-9 ]{0,64}") {
+        let _ = parse_spec(&input);
+    }
+
+    /// Whatever parses, prints, and re-parses to the same structure.
+    #[test]
+    fn parse_print_parse_is_stable(input in "[\\[\\]|ab ]{0,48}") {
+        if let Ok(spec) = parse_spec(&input) {
+            let printed = spec.to_string();
+            let reparsed = parse_spec(&printed).expect("printer output parses");
+            prop_assert_eq!(reparsed, spec);
+        }
+    }
+
+    #[test]
+    fn normalization_is_idempotent(spec in arb_spec()) {
+        let once = spec.normalized();
+        let twice = once.normalized();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn normalization_never_increases_depth_or_changes_counts(spec in arb_spec()) {
+        let norm = spec.normalized();
+        prop_assert!(norm.depth() <= spec.depth());
+        prop_assert_eq!(norm.simple_count(), spec.simple_count());
+        // Fan-out can only be observed more directly after flattening
+        // (parallel-in-parallel merges), never reduced below the original.
+        prop_assert!(norm.max_fanout() >= spec.max_fanout());
+    }
+
+    #[test]
+    fn structural_metrics_are_consistent(spec in arb_spec()) {
+        prop_assert!(spec.simple_count() >= 1);
+        prop_assert!(spec.depth() >= 1);
+        prop_assert!(spec.max_fanout() >= 1);
+        prop_assert!(spec.stage_count() >= 1);
+        prop_assert!(spec.max_fanout() <= spec.simple_count());
+        prop_assert!(spec.validate().is_ok(), "generator makes valid specs");
+    }
+
+    #[test]
+    fn critical_path_scales_linearly(spec in arb_spec(), factor in 0.1f64..10.0) {
+        let n = spec.simple_count();
+        let ex: Vec<f64> = (0..n).map(|i| 0.5 + (i % 5) as f64).collect();
+        let scaled: Vec<f64> = ex.iter().map(|x| x * factor).collect();
+        let a = spec.critical_path(&ex);
+        let b = spec.critical_path(&scaled);
+        prop_assert!((b - a * factor).abs() < 1e-9 * (1.0 + b.abs()));
+    }
+}

@@ -1,0 +1,31 @@
+//! # sda-sched — local real-time ready queues
+//!
+//! Each node of the paper's system model runs an *independent* local
+//! scheduler; the paper's nodes use non-preemptive **earliest-deadline-first
+//! (EDF)**: "tasks in a scheduler queue are ordered in increasing deadlines;
+//! the task with the earliest deadline is served first" (§5, footnote 3).
+//!
+//! This crate provides that queue plus two classic baselines used by the
+//! ablation experiments (FCFS and shortest-job-first). All queues:
+//!
+//! * break ties FIFO on insertion order, so simulations are deterministic;
+//! * support O(n) removal of a specific queued task, needed by the
+//!   process-manager abortion mode of §7.3 (a task aborted at its real
+//!   deadline is pulled out of whatever queue it is waiting in).
+//!
+//! ```
+//! use sda_sched::{Policy, QueuedTask, ReadyQueue};
+//! use sda_simcore::SimTime;
+//!
+//! let mut q: ReadyQueue<&str> = ReadyQueue::new(Policy::Edf);
+//! q.push(QueuedTask::new(SimTime::from(9.0), 2.0, "late"));
+//! q.push(QueuedTask::new(SimTime::from(3.0), 5.0, "urgent"));
+//! assert_eq!(q.pop().unwrap().item, "urgent");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod queue;
+
+pub use queue::{Policy, QueuedTask, ReadyQueue};

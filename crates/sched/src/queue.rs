@@ -1,0 +1,438 @@
+//! Ready-queue implementations.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+
+use sda_simcore::SimTime;
+
+/// The local scheduling policy of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Policy {
+    /// Non-preemptive earliest-deadline-first — the paper's policy.
+    #[default]
+    Edf,
+    /// First-come-first-served (deadline-blind baseline).
+    Fcfs,
+    /// Non-preemptive shortest-job-first on the *service estimate*
+    /// (deadline-blind, length-aware baseline).
+    Sjf,
+    /// Least-laxity-first on the laxity at enqueue time,
+    /// `deadline − service_estimate`: like EDF but discounting the
+    /// expected service, so long jobs are started earlier. (Static: the
+    /// key is fixed at enqueue, the non-preemptive analogue of minimum
+    /// laxity scheduling.)
+    Llf,
+}
+
+impl Policy {
+    /// All policies, in presentation order.
+    pub const ALL: [Policy; 4] = [Policy::Edf, Policy::Fcfs, Policy::Sjf, Policy::Llf];
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Policy::Edf => write!(f, "EDF"),
+            Policy::Fcfs => write!(f, "FCFS"),
+            Policy::Sjf => write!(f, "SJF"),
+            Policy::Llf => write!(f, "LLF"),
+        }
+    }
+}
+
+/// One task waiting in a ready queue.
+///
+/// `deadline` is whatever deadline the task was *presented* with — for
+/// subtasks of global tasks this is the virtual deadline chosen by the
+/// deadline-assignment strategy, which is the entire point of the paper:
+/// the local scheduler cannot tell a virtual deadline from a real one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedTask<T> {
+    /// The (possibly virtual) deadline the scheduler orders by under EDF.
+    pub deadline: SimTime,
+    /// The service-time estimate SJF orders by.
+    pub service_estimate: f64,
+    /// Caller payload identifying the task.
+    pub item: T,
+}
+
+impl<T> QueuedTask<T> {
+    /// Creates a queue entry.
+    pub fn new(deadline: SimTime, service_estimate: f64, item: T) -> QueuedTask<T> {
+        QueuedTask {
+            deadline,
+            service_estimate,
+            item,
+        }
+    }
+}
+
+/// Heap entry with an insertion sequence number for FIFO tie-breaking.
+struct HeapEntry<T> {
+    key: f64,
+    deadline: SimTime,
+    seq: u64,
+    service_estimate: f64,
+    item: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for HeapEntry<T> {}
+
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed (min-heap behaviour on a max-heap): smaller key first,
+        // then FIFO by sequence number. Keys are never NaN (SimTime is
+        // NaN-free and service estimates are validated on push).
+        other
+            .key
+            .partial_cmp(&self.key)
+            .expect("queue keys are never NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A ready queue with a pluggable service order.
+///
+/// The queue does not model execution — it only decides *which waiting task
+/// a node serves next*. See the `sda-sim` crate for the node/server logic.
+pub struct ReadyQueue<T> {
+    policy: Policy,
+    heap: BinaryHeap<HeapEntry<T>>,
+    fifo: VecDeque<HeapEntry<T>>,
+    next_seq: u64,
+}
+
+impl<T> ReadyQueue<T> {
+    /// Creates an empty queue with the given policy.
+    pub fn new(policy: Policy) -> ReadyQueue<T> {
+        ReadyQueue {
+            policy,
+            heap: BinaryHeap::new(),
+            fifo: VecDeque::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// The queue's scheduling policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Number of waiting tasks.
+    pub fn len(&self) -> usize {
+        self.heap.len() + self.fifo.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task.service_estimate` is NaN (it would poison the SJF
+    /// order).
+    pub fn push(&mut self, task: QueuedTask<T>) {
+        assert!(
+            !task.service_estimate.is_nan(),
+            "service estimate must not be NaN"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = HeapEntry {
+            key: match self.policy {
+                Policy::Edf => task.deadline.value(),
+                Policy::Fcfs => 0.0, // unused; the VecDeque keeps order
+                Policy::Sjf => task.service_estimate,
+                Policy::Llf => task.deadline.value() - task.service_estimate,
+            },
+            deadline: task.deadline,
+            seq,
+            service_estimate: task.service_estimate,
+            item: task.item,
+        };
+        match self.policy {
+            Policy::Fcfs => self.fifo.push_back(entry),
+            _ => self.heap.push(entry),
+        }
+    }
+
+    /// Dequeues the next task to serve according to the policy.
+    pub fn pop(&mut self) -> Option<QueuedTask<T>> {
+        let entry = match self.policy {
+            Policy::Fcfs => self.fifo.pop_front(),
+            _ => self.heap.pop(),
+        }?;
+        Some(QueuedTask {
+            deadline: entry.deadline,
+            service_estimate: entry.service_estimate,
+            item: entry.item,
+        })
+    }
+
+    /// The deadline of the task that would be served next (None if empty).
+    pub fn peek_deadline(&self) -> Option<SimTime> {
+        match self.policy {
+            Policy::Fcfs => self.fifo.front().map(|e| e.deadline),
+            _ => self.heap.peek().map(|e| e.deadline),
+        }
+    }
+
+    /// Removes the first waiting task whose payload satisfies `pred` and
+    /// returns it.
+    ///
+    /// Used for abortion: the process manager pulls a tardy task out of the
+    /// queue it is waiting in. O(n) — abortions are rare relative to
+    /// enqueue/dequeue traffic and queues are short.
+    pub fn remove_by<F>(&mut self, mut pred: F) -> Option<QueuedTask<T>>
+    where
+        F: FnMut(&T) -> bool,
+    {
+        match self.policy {
+            Policy::Fcfs => {
+                let idx = self.fifo.iter().position(|e| pred(&e.item))?;
+                let entry = self.fifo.remove(idx).expect("index from position");
+                Some(QueuedTask {
+                    deadline: entry.deadline,
+                    service_estimate: entry.service_estimate,
+                    item: entry.item,
+                })
+            }
+            _ => {
+                let mut entries: Vec<HeapEntry<T>> = std::mem::take(&mut self.heap).into_vec();
+                let idx = entries.iter().position(|e| pred(&e.item));
+                let removed = idx.map(|i| entries.swap_remove(i));
+                self.heap = entries.into();
+                removed.map(|entry| QueuedTask {
+                    deadline: entry.deadline,
+                    service_estimate: entry.service_estimate,
+                    item: entry.item,
+                })
+            }
+        }
+    }
+
+    /// Drains the queue, returning the remaining tasks in service order.
+    pub fn drain_in_order(&mut self) -> Vec<QueuedTask<T>> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(task) = self.pop() {
+            out.push(task);
+        }
+        out
+    }
+
+    /// Iterates over the waiting tasks' payloads in no particular order.
+    pub fn iter_items(&self) -> impl Iterator<Item = &T> {
+        self.heap
+            .iter()
+            .map(|e| &e.item)
+            .chain(self.fifo.iter().map(|e| &e.item))
+    }
+}
+
+impl<T> fmt::Debug for ReadyQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReadyQueue")
+            .field("policy", &self.policy)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f64) -> SimTime {
+        SimTime::from(v)
+    }
+
+    fn entry(dl: f64, svc: f64, id: u32) -> QueuedTask<u32> {
+        QueuedTask::new(t(dl), svc, id)
+    }
+
+    #[test]
+    fn edf_pops_earliest_deadline_first() {
+        let mut q = ReadyQueue::new(Policy::Edf);
+        q.push(entry(5.0, 1.0, 1));
+        q.push(entry(2.0, 9.0, 2));
+        q.push(entry(8.0, 0.5, 3));
+        let order: Vec<u32> = q.drain_in_order().into_iter().map(|e| e.item).collect();
+        assert_eq!(order, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn edf_ties_break_fifo() {
+        let mut q = ReadyQueue::new(Policy::Edf);
+        for id in 0..20 {
+            q.push(entry(4.0, 1.0, id));
+        }
+        let order: Vec<u32> = q.drain_in_order().into_iter().map(|e| e.item).collect();
+        assert_eq!(order, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fcfs_ignores_deadlines() {
+        let mut q = ReadyQueue::new(Policy::Fcfs);
+        q.push(entry(9.0, 1.0, 1));
+        q.push(entry(1.0, 1.0, 2));
+        q.push(entry(5.0, 1.0, 3));
+        let order: Vec<u32> = q.drain_in_order().into_iter().map(|e| e.item).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sjf_orders_by_service_estimate() {
+        let mut q = ReadyQueue::new(Policy::Sjf);
+        q.push(entry(1.0, 5.0, 1));
+        q.push(entry(9.0, 0.5, 2));
+        q.push(entry(5.0, 2.0, 3));
+        let order: Vec<u32> = q.drain_in_order().into_iter().map(|e| e.item).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn sjf_ties_break_fifo() {
+        let mut q = ReadyQueue::new(Policy::Sjf);
+        q.push(entry(1.0, 2.0, 10));
+        q.push(entry(2.0, 2.0, 11));
+        let order: Vec<u32> = q.drain_in_order().into_iter().map(|e| e.item).collect();
+        assert_eq!(order, vec![10, 11]);
+    }
+
+    #[test]
+    fn llf_orders_by_deadline_minus_service() {
+        let mut q = ReadyQueue::new(Policy::Llf);
+        // Laxities: 10-1=9, 8-6=2, 5-1=4.
+        q.push(entry(10.0, 1.0, 1));
+        q.push(entry(8.0, 6.0, 2));
+        q.push(entry(5.0, 1.0, 3));
+        let order: Vec<u32> = q.drain_in_order().into_iter().map(|e| e.item).collect();
+        assert_eq!(order, vec![2, 3, 1], "least laxity first");
+    }
+
+    #[test]
+    fn llf_equals_edf_for_equal_service_estimates() {
+        let deadlines = [7.0, 2.0, 9.0, 4.0];
+        let mut llf = ReadyQueue::new(Policy::Llf);
+        let mut edf = ReadyQueue::new(Policy::Edf);
+        for (i, &dl) in deadlines.iter().enumerate() {
+            llf.push(entry(dl, 3.0, i as u32));
+            edf.push(entry(dl, 3.0, i as u32));
+        }
+        let l: Vec<u32> = llf.drain_in_order().into_iter().map(|e| e.item).collect();
+        let e: Vec<u32> = edf.drain_in_order().into_iter().map(|e| e.item).collect();
+        assert_eq!(l, e);
+    }
+
+    #[test]
+    fn negative_virtual_deadlines_sort_first() {
+        // The GF strategy produces deadlines shifted by a huge Δ; they must
+        // cut ahead of every local task.
+        let mut q = ReadyQueue::new(Policy::Edf);
+        q.push(entry(0.5, 1.0, 1)); // urgent local
+        q.push(QueuedTask::new(t(3.0) - 1e9, 1.0, 2u32)); // GF subtask
+        assert_eq!(q.pop().unwrap().item, 2);
+    }
+
+    #[test]
+    fn remove_by_pulls_specific_task() {
+        for policy in Policy::ALL {
+            let mut q = ReadyQueue::new(policy);
+            q.push(entry(1.0, 1.0, 1));
+            q.push(entry(2.0, 2.0, 2));
+            q.push(entry(3.0, 3.0, 3));
+            let removed = q.remove_by(|&id| id == 2).unwrap();
+            assert_eq!(removed.item, 2);
+            assert_eq!(q.len(), 2);
+            let rest: Vec<u32> = q.drain_in_order().into_iter().map(|e| e.item).collect();
+            assert_eq!(rest, vec![1, 3], "policy {policy}");
+        }
+    }
+
+    #[test]
+    fn remove_by_missing_returns_none_and_preserves_queue() {
+        let mut q = ReadyQueue::new(Policy::Edf);
+        q.push(entry(2.0, 1.0, 1));
+        q.push(entry(1.0, 1.0, 2));
+        assert!(q.remove_by(|&id| id == 99).is_none());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().item, 2);
+    }
+
+    #[test]
+    fn remove_by_preserves_edf_order_after_heap_rebuild() {
+        let mut q = ReadyQueue::new(Policy::Edf);
+        for id in 0..50u32 {
+            q.push(entry(f64::from(id % 10), 1.0, id));
+        }
+        q.remove_by(|&id| id == 25);
+        let drained = q.drain_in_order();
+        let deadlines: Vec<f64> = drained.iter().map(|e| e.deadline.value()).collect();
+        let mut sorted = deadlines.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(deadlines, sorted);
+        assert_eq!(drained.len(), 49);
+    }
+
+    #[test]
+    fn peek_deadline_matches_pop() {
+        let mut q = ReadyQueue::new(Policy::Edf);
+        assert_eq!(q.peek_deadline(), None);
+        q.push(entry(7.0, 1.0, 1));
+        q.push(entry(3.0, 1.0, 2));
+        assert_eq!(q.peek_deadline(), Some(t(3.0)));
+        assert_eq!(q.pop().unwrap().deadline, t(3.0));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = ReadyQueue::new(Policy::Fcfs);
+        assert!(q.is_empty());
+        q.push(entry(1.0, 1.0, 1));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn iter_items_sees_everything() {
+        let mut q = ReadyQueue::new(Policy::Edf);
+        q.push(entry(1.0, 1.0, 1));
+        q.push(entry(2.0, 1.0, 2));
+        let mut items: Vec<u32> = q.iter_items().copied().collect();
+        items.sort_unstable();
+        assert_eq!(items, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_service_estimate_rejected() {
+        let mut q = ReadyQueue::new(Policy::Sjf);
+        q.push(entry(1.0, f64::NAN, 1));
+    }
+
+    #[test]
+    fn policy_display() {
+        assert_eq!(Policy::Edf.to_string(), "EDF");
+        assert_eq!(Policy::Fcfs.to_string(), "FCFS");
+        assert_eq!(Policy::Sjf.to_string(), "SJF");
+        assert_eq!(Policy::default(), Policy::Edf);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the ready queues.
+
+use proptest::prelude::*;
+
+use sda_sched::{Policy, QueuedTask, ReadyQueue};
+use sda_simcore::SimTime;
+
+fn tasks_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    // (deadline, service estimate) pairs.
+    prop::collection::vec((0.0f64..1e4, 0.0f64..100.0), 1..200)
+}
+
+proptest! {
+    #[test]
+    fn edf_drains_in_deadline_order(tasks in tasks_strategy()) {
+        let mut q = ReadyQueue::new(Policy::Edf);
+        for (i, &(dl, svc)) in tasks.iter().enumerate() {
+            q.push(QueuedTask::new(SimTime::from(dl), svc, i));
+        }
+        let drained = q.drain_in_order();
+        prop_assert_eq!(drained.len(), tasks.len());
+        for pair in drained.windows(2) {
+            prop_assert!(pair[0].deadline <= pair[1].deadline);
+        }
+    }
+
+    #[test]
+    fn sjf_drains_in_service_order(tasks in tasks_strategy()) {
+        let mut q = ReadyQueue::new(Policy::Sjf);
+        for (i, &(dl, svc)) in tasks.iter().enumerate() {
+            q.push(QueuedTask::new(SimTime::from(dl), svc, i));
+        }
+        let drained = q.drain_in_order();
+        for pair in drained.windows(2) {
+            prop_assert!(pair[0].service_estimate <= pair[1].service_estimate);
+        }
+    }
+
+    #[test]
+    fn fcfs_preserves_insertion_order(tasks in tasks_strategy()) {
+        let mut q = ReadyQueue::new(Policy::Fcfs);
+        for (i, &(dl, svc)) in tasks.iter().enumerate() {
+            q.push(QueuedTask::new(SimTime::from(dl), svc, i));
+        }
+        let order: Vec<usize> = q.drain_in_order().into_iter().map(|e| e.item).collect();
+        prop_assert_eq!(order, (0..tasks.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_policy_preserves_the_item_multiset(
+        tasks in tasks_strategy(),
+        policy_idx in 0usize..4,
+    ) {
+        let policy = Policy::ALL[policy_idx];
+        let mut q = ReadyQueue::new(policy);
+        for (i, &(dl, svc)) in tasks.iter().enumerate() {
+            q.push(QueuedTask::new(SimTime::from(dl), svc, i));
+        }
+        let mut items: Vec<usize> = q.drain_in_order().into_iter().map(|e| e.item).collect();
+        items.sort_unstable();
+        prop_assert_eq!(items, (0..tasks.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_by_then_drain_equals_drain_minus_target(
+        tasks in tasks_strategy(),
+        target_frac in 0.0f64..1.0,
+        policy_idx in 0usize..4,
+    ) {
+        let policy = Policy::ALL[policy_idx];
+        let target = ((tasks.len() as f64) * target_frac) as usize % tasks.len();
+        let fill = || {
+            let mut q = ReadyQueue::new(policy);
+            for (i, &(dl, svc)) in tasks.iter().enumerate() {
+                q.push(QueuedTask::new(SimTime::from(dl), svc, i));
+            }
+            q
+        };
+        let mut with_removal = fill();
+        let removed = with_removal.remove_by(|&id| id == target);
+        prop_assert_eq!(removed.map(|e| e.item), Some(target));
+        let after: Vec<usize> = with_removal
+            .drain_in_order()
+            .into_iter()
+            .map(|e| e.item)
+            .collect();
+        let mut full = fill();
+        let reference: Vec<usize> = full
+            .drain_in_order()
+            .into_iter()
+            .map(|e| e.item)
+            .filter(|&i| i != target)
+            .collect();
+        prop_assert_eq!(after, reference, "removal must not disturb relative order");
+    }
+
+    #[test]
+    fn ties_break_fifo_under_every_policy(
+        n in 1usize..100,
+        policy_idx in 0usize..4,
+    ) {
+        let policy = Policy::ALL[policy_idx];
+        let mut q = ReadyQueue::new(policy);
+        for i in 0..n {
+            q.push(QueuedTask::new(SimTime::from(7.0), 3.0, i));
+        }
+        let order: Vec<usize> = q.drain_in_order().into_iter().map(|e| e.item).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,820 @@
+//! Simulation configuration (§5's parameters, Table 1's baseline).
+
+use std::fmt;
+
+use sda_core::{EstimationModel, SdaStrategy};
+use sda_model::TaskSpec;
+use sda_sched::Policy;
+use sda_simcore::dist::{Constant, Dist, Exp, Uniform};
+
+/// The shape of the global tasks a run generates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalShape {
+    /// Every global task is `n` simple subtasks in parallel at `n`
+    /// distinct nodes (the §4–§7 baseline; Table 1 uses `n = 4`).
+    ParallelFixed {
+        /// Number of parallel subtasks.
+        n: usize,
+    },
+    /// The number of parallel subtasks is drawn uniformly from
+    /// `[lo, hi]` per task (§7.4 uses `[2..6]`).
+    ParallelUniform {
+        /// Smallest subtask count (inclusive).
+        lo: usize,
+        /// Largest subtask count (inclusive).
+        hi: usize,
+    },
+    /// Every global task instantiates the given serial-parallel graph
+    /// (§8 uses the Figure 14 five-stage pipeline).
+    Spec(TaskSpec),
+}
+
+impl GlobalShape {
+    /// The Figure 14 task graph: 5 serial stages; stages 2 and 4 are
+    /// parallel complex subtasks of 4 simple subtasks each.
+    pub fn figure14() -> GlobalShape {
+        GlobalShape::Spec(TaskSpec::pipeline_with_fanout(5, &[(1, 4), (3, 4)]))
+    }
+
+    /// Expected number of simple subtasks per global task (used to derive
+    /// the global arrival rate from `load`).
+    pub fn mean_leaf_count(&self) -> f64 {
+        match self {
+            GlobalShape::ParallelFixed { n } => *n as f64,
+            GlobalShape::ParallelUniform { lo, hi } => 0.5 * (*lo + *hi) as f64,
+            GlobalShape::Spec(spec) => spec.simple_count() as f64,
+        }
+    }
+
+    /// The widest parallel fan-out this shape can produce. Subtasks of one
+    /// parallel composition run at *distinct* nodes, so this may not
+    /// exceed the node count.
+    pub fn max_fanout(&self) -> usize {
+        match self {
+            GlobalShape::ParallelFixed { n } => *n,
+            GlobalShape::ParallelUniform { hi, .. } => *hi,
+            GlobalShape::Spec(spec) => spec.max_fanout(),
+        }
+    }
+}
+
+/// The shape of the service-time distributions (the mean is fixed by
+/// `mu_local` / `mu_subtask`; the shape controls variability).
+///
+/// The paper uses exponential service everywhere; the other shapes are
+/// ablations probing how much of the PSP effect is driven by service-time
+/// variance (an M/D/1-style system still amplifies misses through queueing
+/// variability alone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServiceShape {
+    /// Exponential with the configured mean (the paper's model).
+    #[default]
+    Exponential,
+    /// Deterministic: every task takes exactly the mean.
+    Deterministic,
+    /// Uniform on `[0.5 mean, 1.5 mean]` (same mean, lower variance).
+    UniformSpread,
+}
+
+impl ServiceShape {
+    /// Builds the concrete distribution for a given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean` is finite and positive.
+    pub fn dist(self, mean: f64) -> Dist {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "service mean must be finite and positive, got {mean}"
+        );
+        match self {
+            ServiceShape::Exponential => Exp::with_mean(mean).into(),
+            ServiceShape::Deterministic => Constant(mean).into(),
+            ServiceShape::UniformSpread => Uniform::new(0.5 * mean, 1.5 * mean).into(),
+        }
+    }
+}
+
+/// Periodic ON/OFF modulation of the arrival processes.
+///
+/// §5 notes that "it is the occasional experience of transient overload
+/// that accounts for most of the missed deadlines"; the paper studies
+/// stationary Poisson arrivals and lets randomness supply the transients.
+/// This extension makes them explicit: during the ON phase (a fraction
+/// `on_fraction` of each `period`) both arrival rates are multiplied by
+/// `boost`; during OFF they are scaled down so the *average* rate — and
+/// hence the configured `load` — is unchanged. A `boost` that pushes the
+/// instantaneous load past 1 creates genuine overload bursts that must
+/// drain during the OFF phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// Length of one ON+OFF cycle, in time units.
+    pub period: f64,
+    /// Fraction of the period spent in the ON phase, in `(0, 1)`.
+    pub on_fraction: f64,
+    /// Arrival-rate multiplier during ON, in `[1, 1/on_fraction)`. The
+    /// OFF multiplier is derived as `(1 − on_fraction·boost)/(1 −
+    /// on_fraction)` so the mean multiplier is exactly 1.
+    pub boost: f64,
+}
+
+impl Burst {
+    /// The derived OFF-phase rate multiplier (≥ 0).
+    pub fn off_multiplier(&self) -> f64 {
+        (1.0 - self.on_fraction * self.boost) / (1.0 - self.on_fraction)
+    }
+
+    /// The instantaneous rate multiplier at time `t` (deterministic
+    /// periodic phases starting ON at t = 0).
+    pub fn multiplier_at(&self, t: f64) -> f64 {
+        let phase = t.rem_euclid(self.period);
+        if phase < self.on_fraction * self.period {
+            self.boost
+        } else {
+            self.off_multiplier()
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.period.is_finite() && self.period > 0.0) {
+            return Err(format!("period must be positive, got {}", self.period));
+        }
+        if !(self.on_fraction > 0.0 && self.on_fraction < 1.0) {
+            return Err(format!(
+                "on_fraction must be in (0, 1), got {}",
+                self.on_fraction
+            ));
+        }
+        if !(self.boost >= 1.0 && self.boost < 1.0 / self.on_fraction) {
+            return Err(format!(
+                "boost must be in [1, 1/on_fraction = {:.3}), got {}",
+                1.0 / self.on_fraction,
+                self.boost
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// How the process manager chooses execution nodes for subtasks.
+///
+/// The paper places the `n` parallel subtasks of a global task at `n`
+/// *different* nodes chosen blindly (uniformly at random); the
+/// least-loaded variant is an extension quantifying how much of the
+/// parallel subtask problem is placement-blindness rather than
+/// deadline-blindness. (Either way there is no migration afterwards —
+/// the paper's "no load balancing" premise refers to moving queued work,
+/// which neither policy does.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Uniformly random, distinct within each parallel group (the paper).
+    #[default]
+    RandomDistinct,
+    /// Choose the least-backlogged nodes at task arrival (ties broken by
+    /// node index), distinct within each parallel group.
+    LeastLoaded,
+}
+
+/// How tardy tasks are aborted (§7.3), if at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AbortPolicy {
+    /// No abortion: tardy tasks run to completion (the baseline; Table 1).
+    #[default]
+    None,
+    /// Abortion by the process manager: a timer fires at every task's
+    /// *real* deadline; an unfinished task is aborted then (a global task
+    /// abort kills all of its subtasks).
+    ProcessManager,
+    /// Abortion by the local schedulers: a task whose *presented* (virtual)
+    /// deadline has passed is aborted — at dispatch if it expired in the
+    /// queue, or mid-service when the deadline passes. The process manager
+    /// resubmits an aborted subtask according to the resubmission policy.
+    LocalScheduler {
+        /// What the process manager does with a locally-aborted subtask.
+        resubmit: ResubmitPolicy,
+    },
+}
+
+/// Resubmission of subtasks aborted by a local scheduler.
+///
+/// The paper (§7.3) describes the aborted subtask being resubmitted with
+/// its slack "consumed mostly by its former unsuccessful trial"; results
+/// were not shown. We implement the natural reading: one resubmission with
+/// the *real* (end-to-end) deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResubmitPolicy {
+    /// Drop the subtask: the global task has failed.
+    Never,
+    /// Resubmit once with the real deadline (no virtual tightening), if
+    /// the real deadline has not itself passed.
+    #[default]
+    OnceWithRealDeadline,
+}
+
+/// Full configuration of one simulation run.
+///
+/// All `f64` time quantities are in units of the mean local execution time
+/// (`1/mu_local`), matching the paper's normalization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// `k`: number of nodes (Table 1: 6).
+    pub nodes: usize,
+    /// Normalized offered load in `[0, 1)` (Table 1: 0.5).
+    pub load: f64,
+    /// Fraction of the load contributed by local tasks (Table 1: 0.75).
+    pub frac_local: f64,
+    /// Service *rate* of local tasks (Table 1: 1.0).
+    pub mu_local: f64,
+    /// Service *rate* of simple subtasks (Table 1: 1.0).
+    pub mu_subtask: f64,
+    /// Slack distribution for local tasks (Table 1: U[1.25, 5.0]).
+    pub local_slack: Uniform,
+    /// Slack distribution for global tasks (defaults to `local_slack`;
+    /// the §8 experiment scales it by the number of stages to U[6.25, 25]).
+    pub global_slack: Uniform,
+    /// Shape of global tasks.
+    pub shape: GlobalShape,
+    /// The deadline-assignment strategy under test.
+    pub strategy: SdaStrategy,
+    /// Local scheduling policy (the paper: EDF).
+    pub scheduler: Policy,
+    /// Whether the local schedulers preempt the task in service when a
+    /// task with an earlier presented deadline arrives
+    /// (preemptive-resume). The paper's nodes are non-preemptive; this is
+    /// an extension ablation. Requires [`Policy::Edf`].
+    pub preemptive: bool,
+    /// Per-node speed factors: node `i` serves work at `node_speeds[i]`
+    /// work units per time unit. Empty means uniform speed 1 (the paper's
+    /// homogeneous system). With non-uniform speeds the *system-wide*
+    /// offered load still equals `load`, but per-node load varies — the
+    /// "pre-existing components of different nature" the paper's open
+    /// systems motivation describes.
+    pub node_speeds: Vec<f64>,
+    /// Shape of both service-time distributions (the paper: exponential).
+    pub service_shape: ServiceShape,
+    /// How subtasks are placed on nodes (the paper: random distinct).
+    pub placement: Placement,
+    /// Optional ON/OFF arrival burstiness (None = the paper's stationary
+    /// Poisson arrivals).
+    pub burst: Option<Burst>,
+    /// Overload management (Table 1: no abortion).
+    pub abort: AbortPolicy,
+    /// How `pex` predictions are produced for the SSP strategies.
+    pub estimation: EstimationModel,
+    /// Simulated duration (the paper: 1,000,000 time units per run).
+    pub duration: f64,
+    /// Warm-up interval: tasks *arriving* before this time execute but are
+    /// not counted in the statistics.
+    pub warmup: f64,
+}
+
+impl SimConfig {
+    /// The paper's baseline setting (Table 1).
+    ///
+    /// The default `duration` here is 200,000 time units (the paper used
+    /// 1,000,000 per run); scale it up with [`SimConfig::with_duration`]
+    /// for paper-scale confidence intervals.
+    pub fn baseline() -> SimConfig {
+        SimConfig {
+            nodes: 6,
+            load: 0.5,
+            frac_local: 0.75,
+            mu_local: 1.0,
+            mu_subtask: 1.0,
+            local_slack: Uniform::new(1.25, 5.0),
+            global_slack: Uniform::new(1.25, 5.0),
+            shape: GlobalShape::ParallelFixed { n: 4 },
+            strategy: SdaStrategy::ud_ud(),
+            scheduler: Policy::Edf,
+            preemptive: false,
+            node_speeds: Vec::new(),
+            service_shape: ServiceShape::Exponential,
+            placement: Placement::RandomDistinct,
+            burst: None,
+            abort: AbortPolicy::None,
+            estimation: EstimationModel::Exact,
+            duration: 200_000.0,
+            warmup: 2_000.0,
+        }
+    }
+
+    /// The §8 serial-parallel experiment: Figure 14 task graph and global
+    /// slack scaled by the 5 stages to U[6.25, 25].
+    pub fn section8() -> SimConfig {
+        SimConfig {
+            shape: GlobalShape::figure14(),
+            global_slack: Uniform::new(1.25, 5.0).scaled(5.0),
+            ..SimConfig::baseline()
+        }
+    }
+
+    /// Returns a copy with a different load.
+    pub fn with_load(mut self, load: f64) -> SimConfig {
+        self.load = load;
+        self
+    }
+
+    /// Returns a copy with a different strategy.
+    pub fn with_strategy(mut self, strategy: SdaStrategy) -> SimConfig {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Returns a copy with a different duration (warm-up is left alone).
+    pub fn with_duration(mut self, duration: f64) -> SimConfig {
+        self.duration = duration;
+        self
+    }
+
+    /// Total processing capacity in work units per time unit: the sum of
+    /// node speeds (`k` for the paper's homogeneous system).
+    pub fn capacity(&self) -> f64 {
+        if self.node_speeds.is_empty() {
+            self.nodes as f64
+        } else {
+            self.node_speeds.iter().sum()
+        }
+    }
+
+    /// Local arrival rate `λ_local` at a *speed-1* node, implied by `load`
+    /// and `frac_local` (§5): `λ_local = frac_local · load · μ_local`.
+    ///
+    /// Each node generates local work in proportion to its own speed (a
+    /// component's local workload is its own), so node `i` arrives at
+    /// [`SimConfig::lambda_local_at`]` = λ_local · speed_i`; every node
+    /// then carries the same *local* load, and heterogeneity is felt only
+    /// through the globally-placed subtasks.
+    pub fn lambda_local(&self) -> f64 {
+        self.frac_local * self.load * self.mu_local
+    }
+
+    /// Local arrival rate at node `i` (speed-proportional; see
+    /// [`SimConfig::lambda_local`]).
+    pub fn lambda_local_at(&self, node: usize) -> f64 {
+        let speed = self.node_speeds.get(node).copied().unwrap_or(1.0);
+        self.lambda_local() * speed
+    }
+
+    /// System-wide global arrival rate `λ_global` implied by `load`,
+    /// `frac_local`, and the shape (§5):
+    /// `λ_global = (1 − frac_local) · load · capacity · μ_subtask / E[n]`.
+    pub fn lambda_global(&self) -> f64 {
+        (1.0 - self.frac_local) * self.load * self.capacity() * self.mu_subtask
+            / self.shape.mean_leaf_count()
+    }
+
+    /// The offered load of node `i`: its own (speed-proportional) locals
+    /// plus its `1/k` share of global subtask work, divided by its speed.
+    ///
+    /// In the homogeneous system this equals `load` at every node; with
+    /// `node_speeds` a slow node carries more than `load`, and a
+    /// configuration can silently saturate a node even though the
+    /// *system* load is below 1 — [`SimConfig::validate`] rejects that.
+    pub fn per_node_load(&self, node: usize) -> f64 {
+        let speed = self.node_speeds.get(node).copied().unwrap_or(1.0);
+        let local_work = self.lambda_local_at(node) / self.mu_local;
+        let global_work = self.lambda_global() * self.shape.mean_leaf_count()
+            / (self.mu_subtask * self.nodes as f64);
+        (local_work + global_work) / speed
+    }
+
+    /// Checks the §5 accounting identity: offered work rate over capacity
+    /// equals `load`, and local work is `frac_local` of it.
+    pub fn offered_load(&self) -> f64 {
+        let local_work: f64 = (0..self.nodes)
+            .map(|i| self.lambda_local_at(i) / self.mu_local)
+            .sum();
+        let global_work = self.lambda_global() * self.shape.mean_leaf_count() / self.mu_subtask;
+        (local_work + global_work) / self.capacity()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.nodes == 0 {
+            return Err(ConfigError::NoNodes);
+        }
+        if !(0.0..1.0).contains(&self.load) {
+            return Err(ConfigError::BadLoad(self.load));
+        }
+        if !(0.0..=1.0).contains(&self.frac_local) {
+            return Err(ConfigError::BadFracLocal(self.frac_local));
+        }
+        if self.mu_local <= 0.0 || self.mu_subtask <= 0.0 {
+            return Err(ConfigError::BadServiceRate);
+        }
+        if self.preemptive && self.scheduler != Policy::Edf {
+            return Err(ConfigError::PreemptionNeedsEdf(self.scheduler));
+        }
+        if let Some(burst) = &self.burst {
+            burst.validate().map_err(ConfigError::BadBurst)?;
+        }
+        if !self.node_speeds.is_empty() {
+            if self.node_speeds.len() != self.nodes {
+                return Err(ConfigError::BadNodeSpeeds(format!(
+                    "{} speeds for {} nodes",
+                    self.node_speeds.len(),
+                    self.nodes
+                )));
+            }
+            if self.node_speeds.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+                return Err(ConfigError::BadNodeSpeeds(
+                    "speeds must be finite and positive".to_string(),
+                ));
+            }
+            for node in 0..self.nodes {
+                let rho = self.per_node_load(node);
+                if rho >= 1.0 {
+                    return Err(ConfigError::NodeSaturated { node, rho });
+                }
+            }
+        }
+        if self.duration <= 0.0 || self.warmup < 0.0 || self.warmup >= self.duration {
+            return Err(ConfigError::BadHorizon {
+                duration: self.duration,
+                warmup: self.warmup,
+            });
+        }
+        match &self.shape {
+            GlobalShape::ParallelFixed { n } => {
+                if *n == 0 {
+                    return Err(ConfigError::EmptyShape);
+                }
+            }
+            GlobalShape::ParallelUniform { lo, hi } => {
+                if *lo == 0 || lo > hi {
+                    return Err(ConfigError::EmptyShape);
+                }
+            }
+            GlobalShape::Spec(spec) => {
+                if spec.validate().is_err() {
+                    return Err(ConfigError::EmptyShape);
+                }
+            }
+        }
+        if self.frac_local < 1.0 && self.shape.max_fanout() > self.nodes {
+            return Err(ConfigError::FanoutExceedsNodes {
+                fanout: self.shape.max_fanout(),
+                nodes: self.nodes,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by [`SimConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `nodes == 0`.
+    NoNodes,
+    /// `load` outside `[0, 1)` — the system must be stable.
+    BadLoad(f64),
+    /// `frac_local` outside `[0, 1]`.
+    BadFracLocal(f64),
+    /// A non-positive service rate.
+    BadServiceRate,
+    /// `preemptive` set with a non-EDF scheduler.
+    PreemptionNeedsEdf(Policy),
+    /// Wrong number of node speeds, or a non-positive speed.
+    BadNodeSpeeds(String),
+    /// Invalid burstiness parameters.
+    BadBurst(String),
+    /// A node's offered load is at or above 1: its queue would grow
+    /// without bound even though the system-wide load is below 1.
+    NodeSaturated {
+        /// The saturated node.
+        node: usize,
+        /// Its offered load.
+        rho: f64,
+    },
+    /// Non-positive duration or warm-up not inside the run.
+    BadHorizon {
+        /// Configured duration.
+        duration: f64,
+        /// Configured warm-up.
+        warmup: f64,
+    },
+    /// A global shape with no subtasks (or an invalid spec).
+    EmptyShape,
+    /// A parallel composition wider than the node count: its subtasks
+    /// could not run at distinct nodes.
+    FanoutExceedsNodes {
+        /// Widest parallel composition in the shape.
+        fanout: usize,
+        /// Configured node count.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoNodes => write!(f, "node count must be positive"),
+            ConfigError::BadLoad(l) => write!(f, "load must be in [0, 1), got {l}"),
+            ConfigError::BadFracLocal(x) => write!(f, "frac_local must be in [0, 1], got {x}"),
+            ConfigError::BadServiceRate => write!(f, "service rates must be positive"),
+            ConfigError::PreemptionNeedsEdf(policy) => {
+                write!(f, "preemption requires EDF, got {policy}")
+            }
+            ConfigError::BadNodeSpeeds(why) => write!(f, "invalid node speeds: {why}"),
+            ConfigError::BadBurst(why) => write!(f, "invalid burstiness: {why}"),
+            ConfigError::NodeSaturated { node, rho } => {
+                write!(f, "node {node} is saturated (offered load {rho:.3} >= 1)")
+            }
+            ConfigError::BadHorizon { duration, warmup } => {
+                write!(f, "invalid horizon: duration {duration}, warmup {warmup}")
+            }
+            ConfigError::EmptyShape => write!(f, "global task shape has no subtasks"),
+            ConfigError::FanoutExceedsNodes { fanout, nodes } => {
+                write!(f, "parallel fan-out {fanout} exceeds node count {nodes}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let cfg = SimConfig::baseline();
+        assert_eq!(cfg.nodes, 6);
+        assert_eq!(cfg.load, 0.5);
+        assert_eq!(cfg.frac_local, 0.75);
+        assert_eq!(cfg.mu_local, 1.0);
+        assert_eq!(cfg.mu_subtask, 1.0);
+        assert_eq!(cfg.local_slack, Uniform::new(1.25, 5.0));
+        assert_eq!(cfg.shape, GlobalShape::ParallelFixed { n: 4 });
+        assert_eq!(cfg.scheduler, Policy::Edf);
+        assert_eq!(cfg.abort, AbortPolicy::None);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn rate_derivation_satisfies_load_identity() {
+        for load in [0.1, 0.5, 0.9] {
+            for frac in [0.0, 0.25, 0.75, 1.0] {
+                let cfg = SimConfig {
+                    load,
+                    frac_local: frac,
+                    ..SimConfig::baseline()
+                };
+                assert!(
+                    (cfg.offered_load() - load).abs() < 1e-12,
+                    "load {load} frac {frac}: offered {}",
+                    cfg.offered_load()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_rates_hand_check() {
+        // k=6, load=0.5, frac=0.75, n=4, mu=1:
+        // lambda_local = 0.375 per node; lambda_global = 0.125*6/4 = 0.1875.
+        let cfg = SimConfig::baseline();
+        assert!((cfg.lambda_local() - 0.375).abs() < 1e-12);
+        assert!((cfg.lambda_global() - 0.1875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn section8_config() {
+        let cfg = SimConfig::section8();
+        assert_eq!(cfg.shape, GlobalShape::figure14());
+        assert_eq!(cfg.global_slack, Uniform::new(6.25, 25.0));
+        assert!(cfg.validate().is_ok());
+        // 11 leaves per global: lambda_global = 0.125 * 6 / 11.
+        assert!((cfg.lambda_global() - 0.75 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_mean_leaf_counts() {
+        assert_eq!(GlobalShape::ParallelFixed { n: 4 }.mean_leaf_count(), 4.0);
+        assert_eq!(
+            GlobalShape::ParallelUniform { lo: 2, hi: 6 }.mean_leaf_count(),
+            4.0
+        );
+        assert_eq!(GlobalShape::figure14().mean_leaf_count(), 11.0);
+        assert_eq!(GlobalShape::figure14().max_fanout(), 4);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let base = SimConfig::baseline();
+        assert_eq!(
+            SimConfig {
+                nodes: 0,
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::NoNodes)
+        );
+        assert_eq!(
+            base.clone().with_load(1.0).validate(),
+            Err(ConfigError::BadLoad(1.0))
+        );
+        assert_eq!(
+            SimConfig {
+                frac_local: 1.5,
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::BadFracLocal(1.5))
+        );
+        assert_eq!(
+            SimConfig {
+                mu_local: 0.0,
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::BadServiceRate)
+        );
+        assert!(matches!(
+            SimConfig {
+                warmup: 1e9,
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::BadHorizon { .. })
+        ));
+        assert_eq!(
+            SimConfig {
+                shape: GlobalShape::ParallelFixed { n: 0 },
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::EmptyShape)
+        );
+        assert_eq!(
+            SimConfig {
+                shape: GlobalShape::ParallelFixed { n: 7 },
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::FanoutExceedsNodes {
+                fanout: 7,
+                nodes: 6
+            })
+        );
+        // ...but a wide shape is fine when there are no globals at all.
+        assert!(SimConfig {
+            shape: GlobalShape::ParallelFixed { n: 7 },
+            frac_local: 1.0,
+            ..base
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn preemption_requires_edf() {
+        let cfg = SimConfig {
+            preemptive: true,
+            scheduler: Policy::Fcfs,
+            ..SimConfig::baseline()
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::PreemptionNeedsEdf(Policy::Fcfs))
+        );
+        let ok = SimConfig {
+            preemptive: true,
+            ..SimConfig::baseline()
+        };
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn node_speeds_validation() {
+        let base = SimConfig::baseline();
+        let wrong_len = SimConfig {
+            node_speeds: vec![1.0; 3],
+            ..base.clone()
+        };
+        assert!(matches!(
+            wrong_len.validate(),
+            Err(ConfigError::BadNodeSpeeds(_))
+        ));
+        let negative = SimConfig {
+            node_speeds: vec![1.0, 1.0, 1.0, 1.0, 1.0, -1.0],
+            ..base.clone()
+        };
+        assert!(matches!(
+            negative.validate(),
+            Err(ConfigError::BadNodeSpeeds(_))
+        ));
+        let ok = SimConfig {
+            node_speeds: vec![2.0, 2.0, 1.0, 1.0, 0.5, 0.5],
+            ..base
+        };
+        assert!(ok.validate().is_ok());
+        assert_eq!(ok.capacity(), 7.0);
+    }
+
+    #[test]
+    fn per_node_load_matches_system_load_when_homogeneous() {
+        let cfg = SimConfig::baseline().with_load(0.7);
+        for node in 0..cfg.nodes {
+            assert!((cfg.per_node_load(node) - 0.7).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn saturated_slow_node_is_rejected() {
+        // The A6 pitfall: a 0.25-speed node carries its 1/k share of
+        // global work at 4x cost. At high enough load it saturates even
+        // though the system load is < 1.
+        let cfg = SimConfig {
+            node_speeds: vec![1.75, 1.75, 1.75, 0.25, 0.25, 0.25],
+            ..SimConfig::baseline().with_load(0.7)
+        };
+        // slow node: locals 0.75*0.7 + globals (0.25*0.7*6/6)/0.25 = 1.225
+        assert!(cfg.per_node_load(3) >= 1.0);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::NodeSaturated { node: 3, .. })
+        ));
+        // The same split at load 0.5 is stable and accepted.
+        let ok = SimConfig {
+            node_speeds: vec![1.75, 1.75, 1.75, 0.25, 0.25, 0.25],
+            ..SimConfig::baseline()
+        };
+        assert!(ok.per_node_load(3) < 1.0);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn heterogeneous_speeds_preserve_load_identity() {
+        let cfg = SimConfig {
+            node_speeds: vec![2.0, 2.0, 1.0, 1.0, 0.5, 0.5],
+            ..SimConfig::baseline()
+        };
+        assert!((cfg.offered_load() - 0.5).abs() < 1e-12);
+        // Local arrivals are speed-proportional: a 2x node generates 2x
+        // the locals of a speed-1 node, so its *local* load is the same.
+        assert_eq!(cfg.lambda_local_at(0), 2.0 * cfg.lambda_local());
+        assert_eq!(cfg.lambda_local_at(2), cfg.lambda_local());
+        assert_eq!(cfg.lambda_local_at(5), 0.5 * cfg.lambda_local());
+        // Homogeneous systems reduce to the §5 formula.
+        let base = SimConfig::baseline();
+        assert_eq!(base.lambda_local_at(3), base.lambda_local());
+    }
+
+    #[test]
+    fn service_shapes_have_the_requested_mean() {
+        use sda_simcore::dist::Sample;
+        for shape in [
+            ServiceShape::Exponential,
+            ServiceShape::Deterministic,
+            ServiceShape::UniformSpread,
+        ] {
+            let d = shape.dist(2.0);
+            assert!((d.mean() - 2.0).abs() < 1e-12, "{shape:?}");
+        }
+        assert_eq!(ServiceShape::default(), ServiceShape::Exponential);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn service_shape_rejects_zero_mean() {
+        ServiceShape::Deterministic.dist(0.0);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let cfg = SimConfig::baseline()
+            .with_load(0.7)
+            .with_strategy(SdaStrategy::eqf_div1())
+            .with_duration(1_000_000.0);
+        assert_eq!(cfg.load, 0.7);
+        assert_eq!(cfg.strategy, SdaStrategy::eqf_div1());
+        assert_eq!(cfg.duration, 1_000_000.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            ConfigError::FanoutExceedsNodes {
+                fanout: 8,
+                nodes: 6
+            }
+            .to_string(),
+            "parallel fan-out 8 exceeds node count 6"
+        );
+        assert_eq!(
+            ConfigError::NoNodes.to_string(),
+            "node count must be positive"
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # sda-sim — the distributed soft real-time system simulator
+//!
+//! An executable model of the system in §3/§5 of Kao & Garcia-Molina
+//! (ICDCS 1994): `k` nodes with independent non-preemptive EDF schedulers,
+//! a process manager that decomposes global deadlines into subtask virtual
+//! deadlines (via [`sda_core`]), Poisson workloads of local and global
+//! tasks, the three overload-management modes of §7.3, and the metrics
+//! the paper reports (per-class missed-deadline fractions, fraction of
+//! missed work, response times).
+//!
+//! ```
+//! use sda_core::SdaStrategy;
+//! use sda_sim::{runner, SimConfig};
+//!
+//! // A quick look at the paper's headline effect: DIV-1 halves MD_global
+//! // at the Table 1 baseline.
+//! let cfg = SimConfig::baseline().with_duration(20_000.0);
+//! let ud = runner::run(&cfg, 1)?;
+//! let div1 = runner::run(&cfg.with_strategy(SdaStrategy::ud_div1()), 1)?;
+//! assert!(div1.metrics.md_global() < ud.metrics.md_global());
+//! # Ok::<(), sda_sim::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod metrics;
+pub mod runner;
+mod sim;
+
+pub use config::{
+    AbortPolicy, Burst, ConfigError, GlobalShape, Placement, ResubmitPolicy, ServiceShape,
+    SimConfig,
+};
+pub use metrics::Metrics;
+pub use runner::{replicate, run, run_batch_means, seeds, BatchMeansResult, MultiRun, RunResult};
+pub use sim::{Ev, Simulation, TraceEvent, TraceFn};

@@ -1,0 +1,365 @@
+//! Running simulations: single runs, independent replications with
+//! confidence intervals, and parameter sweeps.
+//!
+//! The paper's methodology (§5): each data point is the average of two
+//! independent one-million-time-unit runs, reported with a 95% confidence
+//! interval. [`replicate`] reproduces that: one run per seed, combined per
+//! metric with a Student-t interval.
+
+use sda_simcore::stats::{Estimate, Replications};
+use sda_simcore::{Engine, SimTime};
+
+use crate::config::{ConfigError, SimConfig};
+use crate::metrics::Metrics;
+use crate::sim::Simulation;
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// All task statistics.
+    pub metrics: Metrics,
+    /// Events processed by the engine.
+    pub events: u64,
+    /// Per-node busy time.
+    pub busy: Vec<f64>,
+    /// Per-node time-weighted mean ready-queue length (waiting tasks).
+    pub mean_queue_len: Vec<f64>,
+    /// The simulated horizon (the configured duration).
+    pub duration: f64,
+    /// The seed the run used.
+    pub seed: u64,
+}
+
+impl RunResult {
+    /// Mean server utilization across nodes.
+    pub fn utilization(&self) -> f64 {
+        if self.busy.is_empty() || self.duration <= 0.0 {
+            return 0.0;
+        }
+        self.busy.iter().sum::<f64>() / (self.busy.len() as f64 * self.duration)
+    }
+}
+
+/// Runs one simulation to its configured duration.
+///
+/// # Errors
+///
+/// Returns the configuration's validation error, if any.
+pub fn run(cfg: &SimConfig, seed: u64) -> Result<RunResult, ConfigError> {
+    let mut sim = Simulation::new(cfg.clone(), seed)?;
+    let mut engine = Engine::new();
+    sim.prime(&mut engine);
+    engine.run_until(&mut sim, SimTime::from(cfg.duration));
+    let events = engine.events_processed();
+    let duration = cfg.duration;
+    let mean_queue_len = sim.mean_queue_lengths(SimTime::from(duration));
+    let (metrics, busy) = sim.into_results();
+    Ok(RunResult {
+        metrics,
+        events,
+        busy,
+        mean_queue_len,
+        duration,
+        seed,
+    })
+}
+
+/// Independent replications of one configuration, one per seed, run on
+/// parallel threads.
+///
+/// # Errors
+///
+/// Returns a validation error before starting any run; runs themselves
+/// cannot fail.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or a worker thread panics.
+pub fn replicate(cfg: &SimConfig, seeds: &[u64]) -> Result<MultiRun, ConfigError> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    cfg.validate()?;
+    let runs = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let cfg = cfg.clone();
+                scope.spawn(move || run(&cfg, seed).expect("config validated above"))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    Ok(MultiRun { runs })
+}
+
+/// The default seed set for an experiment data point: `count` seeds
+/// derived from a base seed (the paper used 2 runs per point).
+pub fn seeds(base: u64, count: usize) -> Vec<u64> {
+    (0..count as u64)
+        .map(|i| base.wrapping_add(i * 7919))
+        .collect()
+}
+
+/// Single-run confidence intervals by the method of batch means.
+#[derive(Debug, Clone)]
+pub struct BatchMeansResult {
+    /// The underlying run.
+    pub run: RunResult,
+    /// `MD_local` with a 95% CI from batches of local-task outcomes.
+    pub md_local: sda_simcore::stats::Estimate,
+    /// `MD_global` with a 95% CI from batches of global-task outcomes.
+    pub md_global: sda_simcore::stats::Estimate,
+    /// Completed batches backing each interval (locals, globals).
+    pub batches: (usize, usize),
+}
+
+/// Runs one simulation and derives 95% confidence intervals from a
+/// *single* run by the method of batch means: the per-task miss
+/// indicators (in completion order) are cut into contiguous batches of
+/// `batch_size`, whose means are treated as approximately independent.
+///
+/// This is the classic alternative to [`replicate`]'s independent
+/// replications: one warm-up instead of many, at the price of residual
+/// batch correlation (choose `batch_size` much larger than the queueing
+/// correlation length; thousands of tasks at moderate load).
+///
+/// # Errors
+///
+/// Returns the configuration's validation error, if any.
+pub fn run_batch_means(
+    cfg: &SimConfig,
+    seed: u64,
+    batch_size: u64,
+) -> Result<BatchMeansResult, ConfigError> {
+    use sda_simcore::stats::BatchMeans;
+    use std::sync::{Arc, Mutex};
+
+    let mut sim = Simulation::new(cfg.clone(), seed)?;
+    let acc: Arc<Mutex<(BatchMeans, BatchMeans)>> = Arc::new(Mutex::new((
+        BatchMeans::new(batch_size),
+        BatchMeans::new(batch_size),
+    )));
+    let sink = Arc::clone(&acc);
+    let warmup = cfg.warmup;
+    sim.set_trace(Box::new(move |now, ev| {
+        if now.value() < warmup {
+            return;
+        }
+        let mut acc = sink.lock().expect("trace sink");
+        match ev {
+            crate::sim::TraceEvent::LocalFinished { missed, .. } => {
+                acc.0.push(if *missed { 1.0 } else { 0.0 });
+            }
+            crate::sim::TraceEvent::GlobalFinished { missed, .. } => {
+                acc.1.push(if *missed { 1.0 } else { 0.0 });
+            }
+            _ => {}
+        }
+    }));
+    let mut engine = Engine::new();
+    sim.prime(&mut engine);
+    engine.run_until(&mut sim, SimTime::from(cfg.duration));
+    let events = engine.events_processed();
+    let mean_queue_len = sim.mean_queue_lengths(SimTime::from(cfg.duration));
+    let (metrics, busy) = sim.into_results();
+    let run = RunResult {
+        metrics,
+        events,
+        busy,
+        mean_queue_len,
+        duration: cfg.duration,
+        seed,
+    };
+    let acc = Arc::try_unwrap(acc)
+        .expect("trace closure dropped with the simulation")
+        .into_inner()
+        .expect("sink lock");
+    Ok(BatchMeansResult {
+        md_local: acc.0.estimate(),
+        md_global: acc.1.estimate(),
+        batches: (acc.0.completed_batches(), acc.1.completed_batches()),
+        run,
+    })
+}
+
+/// A set of replications of the same configuration, with per-metric
+/// confidence intervals.
+#[derive(Debug, Clone)]
+pub struct MultiRun {
+    runs: Vec<RunResult>,
+}
+
+impl MultiRun {
+    /// The individual runs.
+    pub fn runs(&self) -> &[RunResult] {
+        &self.runs
+    }
+
+    /// Applies `metric` to each run and combines the values into a mean
+    /// ± 95% CI.
+    pub fn estimate<F>(&self, metric: F) -> Estimate
+    where
+        F: Fn(&RunResult) -> f64,
+    {
+        self.runs
+            .iter()
+            .map(metric)
+            .collect::<Replications>()
+            .estimate()
+    }
+
+    /// `MD_local` across replications.
+    pub fn md_local(&self) -> Estimate {
+        self.estimate(|r| r.metrics.md_local())
+    }
+
+    /// `MD_subtask` across replications.
+    pub fn md_subtask(&self) -> Estimate {
+        self.estimate(|r| r.metrics.md_subtask())
+    }
+
+    /// `MD_global` (all global classes) across replications.
+    pub fn md_global(&self) -> Estimate {
+        self.estimate(|r| r.metrics.md_global())
+    }
+
+    /// `MD_global` for the class with exactly `n` subtasks.
+    pub fn md_global_n(&self, n: u32) -> Estimate {
+        self.estimate(|r| r.metrics.md_global_n(n))
+    }
+
+    /// Fraction of missed work across replications (§6.1).
+    pub fn missed_work(&self) -> Estimate {
+        self.estimate(|r| r.metrics.missed_work_fraction())
+    }
+
+    /// Mean node utilization across replications.
+    pub fn utilization(&self) -> Estimate {
+        self.estimate(RunResult::utilization)
+    }
+
+    /// Pools the raw metrics of all runs (counter-level merge).
+    pub fn pooled_metrics(&self) -> Metrics {
+        let mut pooled = Metrics::new();
+        for run in &self.runs {
+            pooled.merge(&run.metrics);
+        }
+        pooled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SimConfig {
+        SimConfig {
+            duration: 3_000.0,
+            warmup: 100.0,
+            ..SimConfig::baseline()
+        }
+    }
+
+    #[test]
+    fn run_produces_result() {
+        let r = run(&quick(), 5).unwrap();
+        assert!(r.events > 10_000);
+        assert_eq!(r.busy.len(), 6);
+        assert!(r.metrics.local_count() > 1_000);
+        assert!((r.utilization() - 0.5).abs() < 0.08, "{}", r.utilization());
+        assert_eq!(r.seed, 5);
+    }
+
+    #[test]
+    fn run_rejects_invalid_config() {
+        let bad = quick().with_load(2.0);
+        assert!(run(&bad, 0).is_err());
+    }
+
+    #[test]
+    fn replicate_matches_individual_runs() {
+        let cfg = quick();
+        let multi = replicate(&cfg, &[1, 2]).unwrap();
+        assert_eq!(multi.runs().len(), 2);
+        let solo = run(&cfg, 1).unwrap();
+        assert_eq!(
+            multi.runs()[0].metrics.md_local(),
+            solo.metrics.md_local(),
+            "threaded replication must equal the sequential run"
+        );
+    }
+
+    #[test]
+    fn estimates_have_uncertainty_with_two_runs() {
+        let multi = replicate(&quick(), &[1, 2]).unwrap();
+        let e = multi.md_local();
+        assert!(e.mean > 0.0);
+        assert!(e.half_width > 0.0);
+        let pooled = multi.pooled_metrics();
+        assert_eq!(
+            pooled.local_count(),
+            multi.runs()[0].metrics.local_count() + multi.runs()[1].metrics.local_count()
+        );
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let s = seeds(1000, 8);
+        assert_eq!(s.len(), 8);
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn replicate_empty_seeds_panics() {
+        let _ = replicate(&quick(), &[]);
+    }
+
+    #[test]
+    fn batch_means_agrees_with_replications() {
+        let cfg = SimConfig {
+            duration: 40_000.0,
+            warmup: 400.0,
+            ..SimConfig::baseline()
+        };
+        let bm = run_batch_means(&cfg, 9, 2_000).unwrap();
+        assert!(bm.batches.0 >= 10, "locals batches: {:?}", bm.batches);
+        assert!(bm.batches.1 >= 2);
+        assert!(bm.md_local.half_width > 0.0);
+        // The point estimates agree with the run's own counters (batch
+        // truncation loses at most one partial batch).
+        assert!(
+            (bm.md_local.mean - bm.run.metrics.md_local()).abs() < 0.01,
+            "batch mean {} vs counter {}",
+            bm.md_local.mean,
+            bm.run.metrics.md_local()
+        );
+        // And a replications estimate from different seeds lands inside a
+        // few half-widths.
+        let multi = replicate(&cfg, &seeds(100, 2)).unwrap();
+        let gap = (bm.md_local.mean - multi.md_local().mean).abs();
+        assert!(
+            gap < 0.02,
+            "batch-means {} vs replications {}",
+            bm.md_local.mean,
+            multi.md_local().mean
+        );
+    }
+
+    #[test]
+    fn batch_means_counts_tasks_after_warmup_only() {
+        let cfg = quick();
+        let bm = run_batch_means(&cfg, 10, 100).unwrap();
+        let batched = (bm.batches.0 as u64) * 100;
+        // Batched observations can't exceed counted completions by much
+        // (trace counts completion-time >= warmup; metrics count
+        // arrival-time >= warmup — the boundary band is small).
+        let counted = bm.run.metrics.local_count();
+        assert!(batched <= counted + 200, "{batched} vs {counted}");
+    }
+}

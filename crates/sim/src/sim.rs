@@ -1,0 +1,1821 @@
+//! The discrete-event model: nodes, process manager, and workloads.
+//!
+//! One [`Simulation`] is one run of the paper's system (Figure 2): `k`
+//! nodes with independent local schedulers, a process manager that assigns
+//! virtual deadlines (via `sda-core`), submits subtasks, enforces
+//! precedence, and optionally aborts tardy tasks (§7.3).
+
+use sda_core::Decomposition;
+use sda_model::TaskSpec;
+use sda_sched::{QueuedTask, ReadyQueue};
+use sda_simcore::dist::{Dist, Exp, Sample, Uniform};
+use sda_simcore::rng::Rng;
+use sda_simcore::{Engine, EventHandle, Model, SimTime};
+
+use crate::config::{AbortPolicy, ConfigError, GlobalShape, ResubmitPolicy, SimConfig};
+use crate::metrics::Metrics;
+
+/// A trace record emitted by the simulator when tracing is enabled
+/// ([`Simulation::set_trace`]): the observable lifecycle of tasks and
+/// servers, for debugging and visualization.
+///
+/// Slot numbers identify global tasks *while they are alive*; slots are
+/// recycled after completion/abortion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A local task arrived at a node.
+    LocalArrived {
+        /// Destination node.
+        node: usize,
+        /// Job id.
+        job: u64,
+        /// Its (real) deadline.
+        deadline: SimTime,
+    },
+    /// A global task arrived and was decomposed.
+    GlobalArrived {
+        /// Slot in the active-global table.
+        slot: usize,
+        /// Number of simple subtasks.
+        leaves: usize,
+        /// End-to-end deadline.
+        deadline: SimTime,
+    },
+    /// A subtask became executable and was submitted to its node.
+    SubtaskSubmitted {
+        /// Owning global slot.
+        slot: usize,
+        /// Leaf index (depth-first order).
+        leaf: usize,
+        /// Execution node.
+        node: usize,
+        /// The virtual deadline it was submitted with.
+        virtual_deadline: SimTime,
+    },
+    /// A node started serving a job.
+    ServiceStarted {
+        /// The node.
+        node: usize,
+        /// Job id.
+        job: u64,
+    },
+    /// A node finished serving a job.
+    ServiceCompleted {
+        /// The node.
+        node: usize,
+        /// Job id.
+        job: u64,
+    },
+    /// The job in service was preempted (preemptive-EDF extension).
+    Preempted {
+        /// The node.
+        node: usize,
+        /// Job id.
+        job: u64,
+    },
+    /// A local task finished or was aborted.
+    LocalFinished {
+        /// Job id.
+        job: u64,
+        /// Whether it missed its deadline (aborted counts as missed).
+        missed: bool,
+    },
+    /// A global task finished or was aborted.
+    GlobalFinished {
+        /// Its slot (now recycled).
+        slot: usize,
+        /// Whether it missed its deadline (aborted counts as missed).
+        missed: bool,
+    },
+}
+
+/// A tracing callback: invoked with the simulation time and the record.
+pub type TraceFn = Box<dyn FnMut(SimTime, &TraceEvent) + Send>;
+
+/// The event alphabet of the system model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ev {
+    /// A local task arrives at `node` (and the next arrival is drawn).
+    LocalArrival {
+        /// Destination node.
+        node: usize,
+    },
+    /// A global task arrives (single system-wide stream).
+    GlobalArrival,
+    /// The task in service at `node` completes.
+    ServiceComplete {
+        /// The serving node.
+        node: usize,
+    },
+    /// Process-manager timer: local task `job_id` reached its real
+    /// deadline unfinished.
+    PmAbortLocal {
+        /// Node the task lives at.
+        node: usize,
+        /// The task's job id.
+        job_id: u64,
+    },
+    /// Process-manager timer: global task in `slot` reached its real
+    /// deadline unfinished.
+    PmAbortGlobal {
+        /// Slot in the active-global table.
+        slot: usize,
+    },
+    /// Local-scheduler abortion: the presented deadline of the job in
+    /// service at `node` passed mid-service.
+    InServiceDeadline {
+        /// The serving node.
+        node: usize,
+        /// Job the timer was armed for (guards against the job having
+        /// finished already).
+        job_id: u64,
+    },
+}
+
+/// A local task, carried through queues by value.
+#[derive(Debug, Clone, Copy)]
+struct LocalJob {
+    id: u64,
+    ar: SimTime,
+    /// The real deadline (locals are never given virtual deadlines).
+    dl: SimTime,
+    /// Total execution requirement (work units).
+    ex: f64,
+    /// Work still to be done (equals `ex` until preemption shrinks it).
+    remaining: f64,
+    /// Process-manager abort timer, if armed.
+    timer: Option<EventHandle>,
+    counted: bool,
+}
+
+/// A simple subtask of a global task.
+#[derive(Debug, Clone, Copy)]
+struct SubtaskJob {
+    id: u64,
+    slot: usize,
+    leaf: usize,
+    /// Total execution requirement (work units).
+    ex: f64,
+    /// Work still to be done (equals `ex` until preemption shrinks it).
+    remaining: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Job {
+    Local(LocalJob),
+    Subtask(SubtaskJob),
+}
+
+impl Job {
+    fn id(&self) -> u64 {
+        match self {
+            Job::Local(j) => j.id,
+            Job::Subtask(j) => j.id,
+        }
+    }
+
+    fn ex(&self) -> f64 {
+        match self {
+            Job::Local(j) => j.ex,
+            Job::Subtask(j) => j.ex,
+        }
+    }
+
+    fn remaining(&self) -> f64 {
+        match self {
+            Job::Local(j) => j.remaining,
+            Job::Subtask(j) => j.remaining,
+        }
+    }
+
+    fn set_remaining(&mut self, remaining: f64) {
+        match self {
+            Job::Local(j) => j.remaining = remaining,
+            Job::Subtask(j) => j.remaining = remaining,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct InService {
+    job: Job,
+    /// When this service burst started (for busy-time accounting).
+    start: SimTime,
+    /// The deadline the job was presented with (preemption compares
+    /// against it).
+    presented_dl: SimTime,
+    /// When service will finish if undisturbed.
+    completion_at: SimTime,
+    complete: EventHandle,
+    /// The local-scheduler mid-service abort timer, if armed.
+    abort_timer: Option<EventHandle>,
+}
+
+impl InService {
+    /// Work (in work units, i.e. node-speed-adjusted) performed on this
+    /// job so far, across all of its service bursts, as of `now`.
+    fn work_performed(&self, now: SimTime, speed: f64) -> f64 {
+        self.job.ex() - (self.completion_at - now) * speed
+    }
+
+    /// Work still owed as of `now`, in work units.
+    fn work_remaining(&self, now: SimTime, speed: f64) -> f64 {
+        (self.completion_at - now) * speed
+    }
+}
+
+#[derive(Debug)]
+struct NodeState {
+    queue: ReadyQueue<Job>,
+    current: Option<InService>,
+    busy: f64,
+    /// Service speed in work units per time unit (1.0 in the paper).
+    speed: f64,
+    /// Time-weighted queue length (waiting tasks, excluding in service).
+    queue_tw: sda_simcore::stats::TimeWeighted,
+}
+
+/// Lifecycle of one simple subtask within a global task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LeafState {
+    /// Precedence not yet satisfied.
+    Unreleased,
+    /// Waiting in its node's ready queue.
+    Queued,
+    /// Being served.
+    InService,
+    /// Completed.
+    Done,
+    /// Aborted and never completed.
+    Failed,
+}
+
+#[derive(Debug)]
+struct GlobalInstance {
+    ar: SimTime,
+    /// Real end-to-end deadline (Equation 2 / its serial-parallel
+    /// generalization).
+    dl: SimTime,
+    decomp: Decomposition,
+    leaf_node: Vec<usize>,
+    leaf_ex: Vec<f64>,
+    leaf_pex: Vec<f64>,
+    leaf_state: Vec<LeafState>,
+    leaf_resubmitted: Vec<bool>,
+    /// Work performed so far (including partial work on aborted service).
+    work_done: f64,
+    pm_timer: Option<EventHandle>,
+    counted: bool,
+}
+
+/// One run of the distributed soft real-time system.
+///
+/// Use [`crate::runner::run`] for the common case; construct a
+/// `Simulation` directly to drive the engine yourself (and, e.g., attach
+/// a trace with [`Simulation::set_trace`]).
+pub struct Simulation {
+    cfg: SimConfig,
+    nodes: Vec<NodeState>,
+    globals: Vec<Option<GlobalInstance>>,
+    free_slots: Vec<usize>,
+    /// One arrival/workload stream per node, plus dedicated streams for
+    /// the global workload and node selection, all split from the run seed.
+    local_rngs: Vec<Rng>,
+    global_rng: Rng,
+    placement_rng: Rng,
+    metrics: Metrics,
+    next_job_id: u64,
+    local_ex: Dist,
+    subtask_ex: Dist,
+    local_slack: Uniform,
+    global_slack: Uniform,
+    /// Per-node local arrival rates (speed-proportional).
+    lambda_local: Vec<f64>,
+    lambda_global: f64,
+    warmup: SimTime,
+    /// Cached specs: `ParallelUniform` indexes by n; others use slot 0.
+    spec_cache: Vec<TaskSpec>,
+    /// Optional trace callback (None = zero-cost tracing off).
+    trace: Option<TraceFn>,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("nodes", &self.nodes.len())
+            .field("active_globals", &self.active_globals())
+            .field("next_job_id", &self.next_job_id)
+            .field("tracing", &self.trace.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Builds a simulation for `cfg`, deriving every random stream from
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error, if any.
+    pub fn new(cfg: SimConfig, seed: u64) -> Result<Simulation, ConfigError> {
+        cfg.validate()?;
+        let base = Rng::seed_from(seed);
+        let local_rngs = (0..cfg.nodes)
+            .map(|i| base.stream(100 + i as u64))
+            .collect();
+        let nodes = (0..cfg.nodes)
+            .map(|i| NodeState {
+                queue: ReadyQueue::new(cfg.scheduler),
+                current: None,
+                busy: 0.0,
+                speed: cfg.node_speeds.get(i).copied().unwrap_or(1.0),
+                queue_tw: sda_simcore::stats::TimeWeighted::new(SimTime::ZERO, 0.0),
+            })
+            .collect();
+        let spec_cache = match &cfg.shape {
+            GlobalShape::ParallelFixed { n } => vec![TaskSpec::parallel_simple(*n)],
+            GlobalShape::ParallelUniform { lo, hi } => (0..=*hi)
+                .map(|n| TaskSpec::parallel_simple(n.max(*lo)))
+                .collect(),
+            GlobalShape::Spec(spec) => vec![spec.clone()],
+        };
+        Ok(Simulation {
+            local_rngs,
+            global_rng: base.stream(1),
+            placement_rng: base.stream(2),
+            nodes,
+            globals: Vec::new(),
+            free_slots: Vec::new(),
+            metrics: Metrics::new(),
+            next_job_id: 0,
+            local_ex: cfg.service_shape.dist(1.0 / cfg.mu_local),
+            subtask_ex: cfg.service_shape.dist(1.0 / cfg.mu_subtask),
+            local_slack: cfg.local_slack,
+            global_slack: cfg.global_slack,
+            lambda_local: (0..cfg.nodes).map(|i| cfg.lambda_local_at(i)).collect(),
+            lambda_global: cfg.lambda_global(),
+            warmup: SimTime::from(cfg.warmup),
+            spec_cache,
+            trace: None,
+            cfg,
+        })
+    }
+
+    /// Attaches a trace callback invoked on every [`TraceEvent`].
+    ///
+    /// Tracing does not perturb the simulation: the same seed produces
+    /// the same run with or without it.
+    pub fn set_trace(&mut self, trace: TraceFn) {
+        self.trace = Some(trace);
+    }
+
+    #[inline]
+    fn emit(&mut self, now: SimTime, event: TraceEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace(now, &event);
+        }
+    }
+
+    /// The candidate-rate multiplier: with ON/OFF burstiness, arrivals
+    /// are generated by thinning a Poisson process at the *peak* rate.
+    fn candidate_boost(&self) -> f64 {
+        self.cfg.burst.map_or(1.0, |b| b.boost)
+    }
+
+    /// Thinning acceptance probability for a candidate arrival at `now`:
+    /// `multiplier(now)/boost` (1 without burstiness).
+    fn acceptance_probability(&self, now: SimTime) -> f64 {
+        match &self.cfg.burst {
+            None => 1.0,
+            Some(burst) => burst.multiplier_at(now.value()) / burst.boost,
+        }
+    }
+
+    /// Schedules the first arrival of every stream. Call once before
+    /// running the engine.
+    pub fn prime(&mut self, engine: &mut Engine<Ev>) {
+        let boost = self.candidate_boost();
+        for node in 0..self.cfg.nodes {
+            if self.lambda_local[node] > 0.0 {
+                let gap =
+                    Exp::new(self.lambda_local[node] * boost).sample(&mut self.local_rngs[node]);
+                engine.schedule(SimTime::from(gap), Ev::LocalArrival { node });
+            }
+        }
+        if self.lambda_global > 0.0 {
+            let gap = Exp::new(self.lambda_global * boost).sample(&mut self.global_rng);
+            engine.schedule(SimTime::from(gap), Ev::GlobalArrival);
+        }
+    }
+
+    /// The metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Consumes the simulation, returning its metrics and per-node busy
+    /// times.
+    pub fn into_results(self) -> (Metrics, Vec<f64>) {
+        (
+            self.metrics,
+            self.nodes.into_iter().map(|n| n.busy).collect(),
+        )
+    }
+
+    /// Number of global tasks currently in flight.
+    pub fn active_globals(&self) -> usize {
+        self.globals.iter().filter(|g| g.is_some()).count()
+    }
+
+    /// Time-weighted mean ready-queue length of every node over
+    /// `[0, until]` (tasks waiting, excluding the one in service).
+    pub fn mean_queue_lengths(&self, until: SimTime) -> Vec<f64> {
+        self.nodes
+            .iter()
+            .map(|n| n.queue_tw.average(until))
+            .collect()
+    }
+
+    fn fresh_job_id(&mut self) -> u64 {
+        let id = self.next_job_id;
+        self.next_job_id += 1;
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Arrivals
+    // ------------------------------------------------------------------
+
+    fn on_local_arrival(&mut self, engine: &mut Engine<Ev>, node: usize) {
+        let now = engine.now();
+        // Draw the next candidate first so stream usage is independent of
+        // what this task does.
+        let gap = Exp::new(self.lambda_local[node] * self.candidate_boost())
+            .sample(&mut self.local_rngs[node]);
+        engine.schedule_after(gap, Ev::LocalArrival { node });
+        // ON/OFF thinning (no-op without burstiness).
+        let p = self.acceptance_probability(now);
+        if p < 1.0 && self.local_rngs[node].next_f64() >= p {
+            return;
+        }
+
+        let ex = self.local_ex.sample(&mut self.local_rngs[node]);
+        let slack = self.local_slack.sample(&mut self.local_rngs[node]);
+        let pex = self.cfg.estimation.predict(ex, &mut self.local_rngs[node]);
+        let dl = now + (ex + slack);
+        let id = self.fresh_job_id();
+        let timer = match self.cfg.abort {
+            AbortPolicy::ProcessManager => {
+                Some(engine.schedule(dl, Ev::PmAbortLocal { node, job_id: id }))
+            }
+            _ => None,
+        };
+        let job = Job::Local(LocalJob {
+            id,
+            ar: now,
+            dl,
+            ex,
+            remaining: ex,
+            timer,
+            counted: now >= self.warmup,
+        });
+        self.emit(
+            now,
+            TraceEvent::LocalArrived {
+                node,
+                job: id,
+                deadline: dl,
+            },
+        );
+        self.enqueue(engine, node, dl, pex, job);
+    }
+
+    fn on_global_arrival(&mut self, engine: &mut Engine<Ev>) {
+        let now = engine.now();
+        let gap =
+            Exp::new(self.lambda_global * self.candidate_boost()).sample(&mut self.global_rng);
+        engine.schedule_after(gap, Ev::GlobalArrival);
+        let p = self.acceptance_probability(now);
+        if p < 1.0 && self.global_rng.next_f64() >= p {
+            return;
+        }
+
+        // Pick the shape for this task.
+        let spec_idx = match &self.cfg.shape {
+            GlobalShape::ParallelUniform { lo, hi } => {
+                self.global_rng.next_range(*lo as u64, *hi as u64) as usize
+            }
+            _ => 0,
+        };
+        let spec = &self.spec_cache[spec_idx];
+        let leaves = spec.simple_count();
+
+        // Draw execution times, predictions, and the slack; derive the
+        // end-to-end deadline from the critical path (Equation 2).
+        let mut leaf_ex = Vec::with_capacity(leaves);
+        let mut leaf_pex = Vec::with_capacity(leaves);
+        for _ in 0..leaves {
+            let ex = self.subtask_ex.sample(&mut self.global_rng);
+            leaf_ex.push(ex);
+            leaf_pex.push(self.cfg.estimation.predict(ex, &mut self.global_rng));
+        }
+        let slack = self.global_slack.sample(&mut self.global_rng);
+        let dl = now + (spec.critical_path(&leaf_ex) + slack);
+
+        // Place the leaves: subtasks of one parallel composition run at
+        // distinct nodes; other leaves are placed per the configured
+        // placement policy.
+        let leaf_node = match self.cfg.placement {
+            crate::config::Placement::RandomDistinct => {
+                assign_nodes(spec, self.cfg.nodes, &mut self.placement_rng)
+            }
+            crate::config::Placement::LeastLoaded => {
+                let backlog: Vec<usize> = self
+                    .nodes
+                    .iter()
+                    .map(|n| n.queue.len() + usize::from(n.current.is_some()))
+                    .collect();
+                assign_nodes_least_loaded(spec, &backlog)
+            }
+        };
+        debug_assert_eq!(leaf_node.len(), leaves);
+
+        let decomp = Decomposition::new(spec, leaf_pex.clone());
+        let slot = match self.free_slots.pop() {
+            Some(slot) => slot,
+            None => {
+                self.globals.push(None);
+                self.globals.len() - 1
+            }
+        };
+        let pm_timer = match self.cfg.abort {
+            AbortPolicy::ProcessManager => Some(engine.schedule(dl, Ev::PmAbortGlobal { slot })),
+            _ => None,
+        };
+        self.globals[slot] = Some(GlobalInstance {
+            ar: now,
+            dl,
+            decomp,
+            leaf_node,
+            leaf_ex,
+            leaf_pex,
+            leaf_state: vec![LeafState::Unreleased; leaves],
+            leaf_resubmitted: vec![false; leaves],
+            work_done: 0.0,
+            pm_timer,
+            counted: now >= self.warmup,
+        });
+
+        self.emit(
+            now,
+            TraceEvent::GlobalArrived {
+                slot,
+                leaves,
+                deadline: dl,
+            },
+        );
+
+        // First descent of the SDA recursion (Figure 13).
+        let strategy = self.cfg.strategy;
+        let releases = self.globals[slot]
+            .as_mut()
+            .expect("slot just filled")
+            .decomp
+            .start(now, dl, &strategy);
+        self.submit_releases(engine, slot, releases);
+    }
+
+    fn submit_releases(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        slot: usize,
+        releases: Vec<sda_core::Release>,
+    ) {
+        for release in releases {
+            // Submitting an earlier release can abort the whole task
+            // re-entrantly (e.g. a local scheduler that aborts on already-
+            // expired virtual deadlines at dispatch, with no resubmission);
+            // the remaining releases then belong to a dead task.
+            let Some(g) = self.globals[slot].as_mut() else {
+                return;
+            };
+            let (node, ex, pex) = {
+                g.leaf_state[release.leaf] = LeafState::Queued;
+                (
+                    g.leaf_node[release.leaf],
+                    g.leaf_ex[release.leaf],
+                    g.leaf_pex[release.leaf],
+                )
+            };
+            let job = Job::Subtask(SubtaskJob {
+                id: self.fresh_job_id(),
+                slot,
+                leaf: release.leaf,
+                ex,
+                remaining: ex,
+            });
+            self.emit(
+                engine.now(),
+                TraceEvent::SubtaskSubmitted {
+                    slot,
+                    leaf: release.leaf,
+                    node,
+                    virtual_deadline: release.deadline,
+                },
+            );
+            self.enqueue(engine, node, release.deadline, pex, job);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Node service
+    // ------------------------------------------------------------------
+
+    fn enqueue(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        node: usize,
+        presented_dl: SimTime,
+        pex: f64,
+        job: Job,
+    ) {
+        self.nodes[node]
+            .queue
+            .push(QueuedTask::new(presented_dl, pex, job));
+        if self.nodes[node].current.is_none() {
+            self.dispatch(engine, node);
+        } else if self.cfg.preemptive {
+            let preempt = self.nodes[node]
+                .current
+                .as_ref()
+                .is_some_and(|serving| presented_dl < serving.presented_dl);
+            if preempt {
+                self.preempt(engine, node);
+                self.dispatch(engine, node);
+            }
+        }
+    }
+
+    /// Preemptive-resume: moves the job in service back into the ready
+    /// queue with its remaining work, freeing the server.
+    fn preempt(&mut self, engine: &mut Engine<Ev>, node: usize) {
+        let now = engine.now();
+        let serving = self.nodes[node]
+            .current
+            .take()
+            .expect("preempting an idle node");
+        self.metrics.preemptions += 1;
+        self.emit(
+            now,
+            TraceEvent::Preempted {
+                node,
+                job: serving.job.id(),
+            },
+        );
+        engine.cancel(serving.complete);
+        if let Some(timer) = serving.abort_timer {
+            engine.cancel(timer);
+        }
+        self.nodes[node].busy += now - serving.start;
+        let speed = self.nodes[node].speed;
+        let remaining = serving.work_remaining(now, speed).max(0.0);
+        let mut job = serving.job;
+        job.set_remaining(remaining);
+        if let Job::Subtask(sub) = &job {
+            let g = self.globals[sub.slot].as_mut().expect("live global");
+            g.leaf_state[sub.leaf] = LeafState::Queued;
+        }
+        // Re-queue with the original presented deadline; the service
+        // estimate becomes the remaining work (only SJF reads it, and
+        // shortest-*remaining*-time is the sensible preemptive reading).
+        self.nodes[node]
+            .queue
+            .push(QueuedTask::new(serving.presented_dl, remaining, job));
+    }
+
+    /// Starts serving the next job if the node is idle, applying the local
+    /// scheduler's dispatch-time abortion check when enabled.
+    ///
+    /// Idempotent: safe to call on a busy node (abortion handling and
+    /// release submission can re-enter it).
+    fn dispatch(&mut self, engine: &mut Engine<Ev>, node: usize) {
+        if self.nodes[node].current.is_some() {
+            return;
+        }
+        let local_abort = matches!(self.cfg.abort, AbortPolicy::LocalScheduler { .. });
+        while let Some(entry) = self.nodes[node].queue.pop() {
+            let now = engine.now();
+            if local_abort && entry.deadline < now {
+                // Expired in the queue: abort without serving. Resubmission
+                // may re-enter dispatch and fill this server.
+                let prior_work = entry.item.ex() - entry.item.remaining();
+                self.local_scheduler_abort(engine, node, entry.item, prior_work);
+                if self.nodes[node].current.is_some() {
+                    return;
+                }
+                continue;
+            }
+            let service_time = entry.item.remaining() / self.nodes[node].speed;
+            let completion_at = now + service_time;
+            let complete = engine.schedule(completion_at, Ev::ServiceComplete { node });
+            let abort_timer = (local_abort && entry.deadline > now).then(|| {
+                engine.schedule(
+                    entry.deadline,
+                    Ev::InServiceDeadline {
+                        node,
+                        job_id: entry.item.id(),
+                    },
+                )
+            });
+            if let Job::Subtask(sub) = &entry.item {
+                let g = self.globals[sub.slot].as_mut().expect("live global");
+                g.leaf_state[sub.leaf] = LeafState::InService;
+            }
+            self.emit(
+                now,
+                TraceEvent::ServiceStarted {
+                    node,
+                    job: entry.item.id(),
+                },
+            );
+            self.nodes[node].current = Some(InService {
+                job: entry.item,
+                start: now,
+                presented_dl: entry.deadline,
+                completion_at,
+                complete,
+                abort_timer,
+            });
+            return;
+        }
+    }
+
+    fn on_service_complete(&mut self, engine: &mut Engine<Ev>, node: usize) {
+        let now = engine.now();
+        let served = self.nodes[node]
+            .current
+            .take()
+            .expect("service completion with idle node");
+        self.nodes[node].busy += now - served.start;
+        if let Some(timer) = served.abort_timer {
+            engine.cancel(timer);
+        }
+        self.emit(
+            now,
+            TraceEvent::ServiceCompleted {
+                node,
+                job: served.job.id(),
+            },
+        );
+        match served.job {
+            Job::Local(job) => {
+                if let Some(timer) = job.timer {
+                    engine.cancel(timer);
+                }
+                let missed = now > job.dl;
+                if job.counted {
+                    self.metrics.record_local(missed, job.ex, now - job.ar);
+                    if missed {
+                        self.metrics.record_local_tardiness(now - job.dl);
+                    }
+                }
+                self.emit(
+                    now,
+                    TraceEvent::LocalFinished {
+                        job: job.id,
+                        missed,
+                    },
+                );
+            }
+            Job::Subtask(job) => {
+                self.on_subtask_complete(engine, job, now);
+            }
+        }
+        self.dispatch(engine, node);
+    }
+
+    fn on_subtask_complete(&mut self, engine: &mut Engine<Ev>, job: SubtaskJob, now: SimTime) {
+        let strategy = self.cfg.strategy;
+        let (releases, finished) = {
+            let g = self.globals[job.slot].as_mut().expect("live global");
+            g.leaf_state[job.leaf] = LeafState::Done;
+            g.work_done += job.ex;
+            if g.counted {
+                // A subtask's natural deadline is the global deadline (§4).
+                self.metrics.record_subtask(now > g.dl);
+            }
+            let releases = g.decomp.complete_leaf(job.leaf, now, &strategy);
+            (releases, g.decomp.is_finished())
+        };
+        self.submit_releases(engine, job.slot, releases);
+        if finished {
+            let g = self.globals[job.slot].take().expect("live global");
+            self.free_slots.push(job.slot);
+            if let Some(timer) = g.pm_timer {
+                engine.cancel(timer);
+            }
+            let missed = now > g.dl;
+            if g.counted {
+                self.metrics.record_global(
+                    g.decomp.leaf_count() as u32,
+                    missed,
+                    g.work_done,
+                    now - g.ar,
+                );
+                if missed {
+                    self.metrics.record_global_tardiness(now - g.dl);
+                }
+            }
+            self.emit(
+                now,
+                TraceEvent::GlobalFinished {
+                    slot: job.slot,
+                    missed,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Abortion — process manager (§7.3 case 1)
+    // ------------------------------------------------------------------
+
+    fn on_pm_abort_local(&mut self, engine: &mut Engine<Ev>, node: usize, job_id: u64) {
+        let now = engine.now();
+        // In service?
+        if let Some(serving) = &self.nodes[node].current {
+            if serving.job.id() == job_id {
+                let serving = self.nodes[node].current.take().expect("checked above");
+                engine.cancel(serving.complete);
+                if let Some(timer) = serving.abort_timer {
+                    engine.cancel(timer);
+                }
+                self.nodes[node].busy += now - serving.start;
+                let work = serving.work_performed(now, self.nodes[node].speed);
+                if let Job::Local(job) = serving.job {
+                    self.metrics.aborted_locals += 1;
+                    if job.counted {
+                        self.metrics.record_local(true, work, now - job.ar);
+                    }
+                    self.emit(
+                        now,
+                        TraceEvent::LocalFinished {
+                            job: job.id,
+                            missed: true,
+                        },
+                    );
+                } else {
+                    unreachable!("PmAbortLocal timer armed for a subtask");
+                }
+                self.dispatch(engine, node);
+                return;
+            }
+        }
+        // Still queued?
+        if let Some(entry) = self.nodes[node].queue.remove_by(|job| job.id() == job_id) {
+            if let Job::Local(job) = entry.item {
+                self.metrics.aborted_locals += 1;
+                if job.counted {
+                    // Work done in earlier bursts, if it was ever preempted.
+                    let work = job.ex - job.remaining;
+                    self.metrics.record_local(true, work, now - job.ar);
+                }
+                self.emit(
+                    now,
+                    TraceEvent::LocalFinished {
+                        job: job.id,
+                        missed: true,
+                    },
+                );
+            }
+        }
+        // Otherwise the task completed and its timer was cancelled; a
+        // same-instant race is benign.
+    }
+
+    fn on_pm_abort_global(&mut self, engine: &mut Engine<Ev>, slot: usize) {
+        if self.globals[slot].is_none() {
+            return; // completed at the same instant
+        }
+        self.abort_global(engine, slot);
+    }
+
+    /// Tears down a global task: every unfinished subtask is removed from
+    /// its queue or cancelled mid-service; the task records as missed.
+    fn abort_global(&mut self, engine: &mut Engine<Ev>, slot: usize) {
+        let now = engine.now();
+        let mut g = self.globals[slot].take().expect("live global");
+        self.free_slots.push(slot);
+        if let Some(timer) = g.pm_timer.take() {
+            engine.cancel(timer);
+        }
+        let mut idle_nodes = Vec::new();
+        for leaf in 0..g.leaf_state.len() {
+            match g.leaf_state[leaf] {
+                LeafState::Done | LeafState::Failed => {}
+                LeafState::Unreleased => {
+                    g.leaf_state[leaf] = LeafState::Failed;
+                }
+                LeafState::Queued => {
+                    let node = g.leaf_node[leaf];
+                    let removed = self.nodes[node].queue.remove_by(
+                        |job| matches!(job, Job::Subtask(s) if s.slot == slot && s.leaf == leaf),
+                    );
+                    debug_assert!(removed.is_some(), "queued leaf must be in its queue");
+                    if let Some(entry) = removed {
+                        // Preemption may have left partial work behind.
+                        g.work_done += entry.item.ex() - entry.item.remaining();
+                    }
+                    g.leaf_state[leaf] = LeafState::Failed;
+                    if g.counted {
+                        self.metrics.record_subtask(true);
+                    }
+                }
+                LeafState::InService => {
+                    let node = g.leaf_node[leaf];
+                    let serving = self.nodes[node]
+                        .current
+                        .take()
+                        .expect("in-service leaf must be serving");
+                    debug_assert!(
+                        matches!(serving.job, Job::Subtask(s) if s.slot == slot && s.leaf == leaf),
+                        "in-service leaf mismatch"
+                    );
+                    engine.cancel(serving.complete);
+                    if let Some(timer) = serving.abort_timer {
+                        engine.cancel(timer);
+                    }
+                    self.nodes[node].busy += now - serving.start;
+                    g.work_done += serving.work_performed(now, self.nodes[node].speed);
+                    g.leaf_state[leaf] = LeafState::Failed;
+                    if g.counted {
+                        self.metrics.record_subtask(true);
+                    }
+                    idle_nodes.push(node);
+                }
+            }
+        }
+        self.metrics.aborted_globals += 1;
+        if g.counted {
+            self.metrics
+                .record_global(g.decomp.leaf_count() as u32, true, g.work_done, now - g.ar);
+        }
+        self.emit(now, TraceEvent::GlobalFinished { slot, missed: true });
+        for node in idle_nodes {
+            self.dispatch(engine, node);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Abortion — local scheduler (§7.3 case 2)
+    // ------------------------------------------------------------------
+
+    fn on_in_service_deadline(&mut self, engine: &mut Engine<Ev>, node: usize, job_id: u64) {
+        let now = engine.now();
+        let Some(serving) = &self.nodes[node].current else {
+            return; // the job finished; stale timer
+        };
+        if serving.job.id() != job_id {
+            return; // a different job is serving now
+        }
+        let serving = self.nodes[node].current.take().expect("checked above");
+        engine.cancel(serving.complete);
+        self.nodes[node].busy += now - serving.start;
+        let work = serving.work_performed(now, self.nodes[node].speed);
+        self.local_scheduler_abort(engine, node, serving.job, work);
+        self.dispatch(engine, node);
+    }
+
+    /// Handles a job the local scheduler just aborted, with `partial`
+    /// work (in work units, across all service bursts) wasted on it.
+    /// At dispatch-time aborts the caller passes the pre-abort progress
+    /// (zero unless the job had been preempted mid-service earlier).
+    fn local_scheduler_abort(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        _node: usize,
+        job: Job,
+        partial: f64,
+    ) {
+        let now = engine.now();
+        self.metrics.local_scheduler_aborts += 1;
+        match job {
+            Job::Local(local) => {
+                // A local's presented deadline is its real deadline: the
+                // task has definitively missed. No resubmission.
+                self.metrics.aborted_locals += 1;
+                if local.counted {
+                    self.metrics.record_local(true, partial, now - local.ar);
+                }
+                self.emit(
+                    now,
+                    TraceEvent::LocalFinished {
+                        job: local.id,
+                        missed: true,
+                    },
+                );
+            }
+            Job::Subtask(sub) => {
+                let resubmit = match self.cfg.abort {
+                    AbortPolicy::LocalScheduler { resubmit } => resubmit,
+                    _ => unreachable!("local abort outside LocalScheduler mode"),
+                };
+                let (can_resubmit, real_dl, pex, node_of_leaf) = {
+                    let g = self.globals[sub.slot].as_mut().expect("live global");
+                    g.work_done += partial;
+                    let can = matches!(resubmit, ResubmitPolicy::OnceWithRealDeadline)
+                        && !g.leaf_resubmitted[sub.leaf]
+                        && now < g.dl;
+                    (can, g.dl, g.leaf_pex[sub.leaf], g.leaf_node[sub.leaf])
+                };
+                if can_resubmit {
+                    let g = self.globals[sub.slot].as_mut().expect("live global");
+                    g.leaf_resubmitted[sub.leaf] = true;
+                    g.leaf_state[sub.leaf] = LeafState::Queued;
+                    self.metrics.resubmissions += 1;
+                    // Resubmitted with the real end-to-end deadline: most
+                    // of the slack is gone (§7.3), but the subtask gets one
+                    // more chance. It restarts from scratch — whatever was
+                    // executed before the abort is wasted.
+                    let job = Job::Subtask(SubtaskJob {
+                        id: self.fresh_job_id(),
+                        remaining: sub.ex,
+                        ..sub
+                    });
+                    self.enqueue(engine, node_of_leaf, real_dl, pex, job);
+                } else {
+                    // The subtask is dropped; the global task can never
+                    // complete — the process manager tears it down.
+                    let g = self.globals[sub.slot].as_mut().expect("live global");
+                    g.leaf_state[sub.leaf] = LeafState::Failed;
+                    if g.counted {
+                        self.metrics.record_subtask(true);
+                    }
+                    let _ = real_dl;
+                    self.abort_global(engine, sub.slot);
+                }
+            }
+        }
+    }
+}
+
+impl Model for Simulation {
+    type Event = Ev;
+
+    fn handle(&mut self, engine: &mut Engine<Ev>, event: Ev) {
+        match event {
+            Ev::LocalArrival { node } => self.on_local_arrival(engine, node),
+            Ev::GlobalArrival => self.on_global_arrival(engine),
+            Ev::ServiceComplete { node } => self.on_service_complete(engine, node),
+            Ev::PmAbortLocal { node, job_id } => self.on_pm_abort_local(engine, node, job_id),
+            Ev::PmAbortGlobal { slot } => self.on_pm_abort_global(engine, slot),
+            Ev::InServiceDeadline { node, job_id } => {
+                self.on_in_service_deadline(engine, node, job_id)
+            }
+        }
+        // Close the queue-length accounting window at the current time for
+        // any node whose queue changed (cheap: k is small, and update is a
+        // no-op amortized when the length is unchanged).
+        let now = engine.now();
+        for node in &mut self.nodes {
+            node.queue_tw.update(now, node.queue.len() as f64);
+        }
+    }
+}
+
+/// Assigns an execution node to every simple subtask (depth-first leaf
+/// order). Immediate simple children of one parallel composition get
+/// *distinct* nodes (the paper: a global task's `n` parallel subtasks run
+/// at `n` different nodes); all other leaves are placed uniformly at
+/// random.
+fn assign_nodes(spec: &TaskSpec, k: usize, rng: &mut Rng) -> Vec<usize> {
+    let mut out = Vec::with_capacity(spec.simple_count());
+    walk(spec, k, rng, &mut out, None);
+    return out;
+
+    /// `distinct` carries the pre-drawn node list when the parent is a
+    /// parallel composition handing nodes to its simple children.
+    fn walk(
+        spec: &TaskSpec,
+        k: usize,
+        rng: &mut Rng,
+        out: &mut Vec<usize>,
+        distinct: Option<usize>,
+    ) {
+        match spec {
+            TaskSpec::Simple => {
+                let node = distinct.unwrap_or_else(|| rng.next_below(k as u64) as usize);
+                out.push(node);
+            }
+            TaskSpec::Serial(children) => {
+                for child in children {
+                    walk(child, k, rng, out, None);
+                }
+            }
+            TaskSpec::Parallel(children) => {
+                let simple_count = children.iter().filter(|c| c.is_simple()).count();
+                let mut nodes = rng.choose_distinct(k, simple_count).into_iter();
+                for child in children {
+                    if child.is_simple() {
+                        walk(child, k, rng, out, nodes.next());
+                    } else {
+                        walk(child, k, rng, out, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Least-loaded placement: like [`assign_nodes`], but instead of random
+/// draws, leaves go to the nodes with the smallest backlog at the task's
+/// arrival (ties broken by node index). Already-placed leaves of the same
+/// task count toward the backlog so one task spreads out.
+fn assign_nodes_least_loaded(spec: &TaskSpec, backlog: &[usize]) -> Vec<usize> {
+    let mut load: Vec<usize> = backlog.to_vec();
+    let mut out = Vec::with_capacity(spec.simple_count());
+    walk(spec, &mut load, &mut out);
+    return out;
+
+    fn least_loaded(load: &[usize], exclude: &[usize]) -> usize {
+        load.iter()
+            .enumerate()
+            .filter(|(i, _)| !exclude.contains(i))
+            .min_by_key(|(i, &l)| (l, *i))
+            .map(|(i, _)| i)
+            .expect("more nodes than parallel fan-out (validated)")
+    }
+
+    fn walk(spec: &TaskSpec, load: &mut Vec<usize>, out: &mut Vec<usize>) {
+        match spec {
+            TaskSpec::Simple => {
+                let node = least_loaded(load, &[]);
+                load[node] += 1;
+                out.push(node);
+            }
+            TaskSpec::Serial(children) => {
+                for child in children {
+                    walk(child, load, out);
+                }
+            }
+            TaskSpec::Parallel(children) => {
+                // Distinctness among the immediate simple children, as in
+                // the random policy.
+                let mut taken: Vec<usize> = Vec::new();
+                for child in children {
+                    if child.is_simple() {
+                        let node = least_loaded(load, &taken);
+                        taken.push(node);
+                        load[node] += 1;
+                        out.push(node);
+                    } else {
+                        walk(child, load, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sda_core::SdaStrategy;
+
+    fn tiny(cfg: SimConfig, seed: u64, horizon: f64) -> (Simulation, Engine<Ev>) {
+        let mut sim = Simulation::new(cfg, seed).expect("valid config");
+        let mut engine = Engine::new();
+        sim.prime(&mut engine);
+        engine.run_until(&mut sim, SimTime::from(horizon));
+        (sim, engine)
+    }
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            duration: 5_000.0,
+            warmup: 100.0,
+            ..SimConfig::baseline()
+        }
+    }
+
+    #[test]
+    fn runs_and_collects_tasks() {
+        let (sim, engine) = tiny(quick_cfg(), 1, 5_000.0);
+        let m = sim.metrics();
+        // Expected locals: 6 nodes * 0.375/unit * ~4900 counted units.
+        assert!(m.local_count() > 8_000, "locals: {}", m.local_count());
+        assert!(m.global_count() > 700, "globals: {}", m.global_count());
+        assert!(engine.events_processed() > 25_000);
+        // All globals in the baseline have 4 subtasks.
+        assert_eq!(m.global_md.keys().copied().collect::<Vec<_>>(), vec![4]);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let (a, _) = tiny(quick_cfg(), 42, 5_000.0);
+        let (b, _) = tiny(quick_cfg(), 42, 5_000.0);
+        assert_eq!(a.metrics().local_md, b.metrics().local_md);
+        assert_eq!(a.metrics().subtask_md, b.metrics().subtask_md);
+        assert_eq!(a.metrics().md_global(), b.metrics().md_global());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, _) = tiny(quick_cfg(), 1, 5_000.0);
+        let (b, _) = tiny(quick_cfg(), 2, 5_000.0);
+        assert_ne!(a.metrics().local_md, b.metrics().local_md);
+    }
+
+    #[test]
+    fn frac_local_one_has_no_globals() {
+        let cfg = SimConfig {
+            frac_local: 1.0,
+            ..quick_cfg()
+        };
+        let (sim, _) = tiny(cfg, 3, 5_000.0);
+        assert_eq!(sim.metrics().global_count(), 0);
+        assert!(sim.metrics().local_count() > 10_000);
+    }
+
+    #[test]
+    fn frac_local_zero_has_no_locals() {
+        let cfg = SimConfig {
+            frac_local: 0.0,
+            ..quick_cfg()
+        };
+        let (sim, _) = tiny(cfg, 3, 5_000.0);
+        assert_eq!(sim.metrics().local_count(), 0);
+        assert!(sim.metrics().global_count() > 1_000);
+    }
+
+    #[test]
+    fn low_load_misses_almost_nothing() {
+        let cfg = quick_cfg().with_load(0.05);
+        let (sim, _) = tiny(cfg, 4, 5_000.0);
+        assert!(sim.metrics().md_local() < 0.01);
+        assert!(sim.metrics().md_global() < 0.02);
+    }
+
+    #[test]
+    fn global_miss_rate_exceeds_local_under_ud() {
+        // The PSP phenomenon itself (§4): UD amplifies global misses.
+        let (sim, _) = tiny(quick_cfg(), 5, 5_000.0);
+        let m = sim.metrics();
+        assert!(
+            m.md_global() > 1.8 * m.md_local(),
+            "global {} vs local {}",
+            m.md_global(),
+            m.md_local()
+        );
+    }
+
+    #[test]
+    fn div1_narrows_the_gap() {
+        let ud = tiny(quick_cfg(), 6, 5_000.0).0;
+        let cfg = quick_cfg().with_strategy(SdaStrategy::ud_div1());
+        let div = tiny(cfg, 6, 5_000.0).0;
+        assert!(
+            div.metrics().md_global() < ud.metrics().md_global(),
+            "DIV-1 must reduce MD_global: {} vs {}",
+            div.metrics().md_global(),
+            ud.metrics().md_global()
+        );
+        assert!(
+            div.metrics().md_local() >= ud.metrics().md_local(),
+            "DIV-1 must not help locals"
+        );
+    }
+
+    #[test]
+    fn subtasks_have_more_slack_than_locals_under_ud() {
+        // Equation 3: a subtask's slack is at least the drawn slack, so
+        // MD_subtask < MD_local under UD (Figure 5's observation).
+        let (sim, _) = tiny(quick_cfg(), 7, 5_000.0);
+        let m = sim.metrics();
+        assert!(m.md_subtask() < m.md_local());
+    }
+
+    #[test]
+    fn no_tasks_leak_in_steady_state() {
+        let (sim, engine) = tiny(quick_cfg(), 8, 5_000.0);
+        // In-flight work is bounded (stable system): active globals and
+        // pending events stay small relative to throughput.
+        assert!(sim.active_globals() < 100);
+        assert!(engine.events_pending() < 1_000);
+    }
+
+    #[test]
+    fn pm_abort_caps_lateness_and_records_aborts() {
+        let cfg = SimConfig {
+            abort: AbortPolicy::ProcessManager,
+            load: 0.8,
+            ..quick_cfg()
+        };
+        let (sim, _) = tiny(cfg, 9, 5_000.0);
+        let m = sim.metrics();
+        assert!(m.aborted_globals > 0, "high load must abort some globals");
+        assert!(m.aborted_locals > 0);
+        // Aborted tasks still count as missed.
+        assert!(m.md_global() > 0.0);
+        // Response time of a local can never exceed ex + slack by more
+        // than numerical noise when the PM aborts at the deadline:
+        // max slack 5.0, so worst-case response <= ex + 5.0; mean response
+        // must be small.
+        assert!(m.local_response.max() < 30.0);
+    }
+
+    #[test]
+    fn pm_abort_reduces_miss_rates_at_high_load() {
+        // §7.3: "abortion helps reduce all miss rates by not wasting
+        // resources on tardy tasks".
+        let base = SimConfig {
+            load: 0.8,
+            ..quick_cfg()
+        };
+        let no_abort = tiny(base.clone(), 10, 5_000.0).0;
+        let with_abort = tiny(
+            SimConfig {
+                abort: AbortPolicy::ProcessManager,
+                ..base
+            },
+            10,
+            5_000.0,
+        )
+        .0;
+        assert!(
+            with_abort.metrics().md_local() < no_abort.metrics().md_local(),
+            "{} vs {}",
+            with_abort.metrics().md_local(),
+            no_abort.metrics().md_local()
+        );
+    }
+
+    #[test]
+    fn local_scheduler_abort_with_resubmission_runs() {
+        let cfg = SimConfig {
+            abort: AbortPolicy::LocalScheduler {
+                resubmit: ResubmitPolicy::OnceWithRealDeadline,
+            },
+            strategy: SdaStrategy::ud_div1(),
+            load: 0.7,
+            ..quick_cfg()
+        };
+        let (sim, _) = tiny(cfg, 11, 5_000.0);
+        let m = sim.metrics();
+        assert!(m.local_scheduler_aborts > 0);
+        assert!(m.resubmissions > 0);
+        assert!(m.global_count() > 100);
+    }
+
+    #[test]
+    fn local_abort_never_resubmit_still_accounts_all_globals() {
+        let cfg = SimConfig {
+            abort: AbortPolicy::LocalScheduler {
+                resubmit: ResubmitPolicy::Never,
+            },
+            strategy: SdaStrategy::ud_div1(),
+            load: 0.7,
+            duration: 3_000.0,
+            ..quick_cfg()
+        };
+        let (sim, _) = tiny(cfg.clone(), 12, 3_000.0);
+        let m = sim.metrics();
+        // Dropped subtasks abort their global; every counted global must
+        // resolve (complete or abort), so in steady state active stays low.
+        assert!(sim.active_globals() < 50);
+        assert!(m.aborted_globals > 0);
+    }
+
+    #[test]
+    fn gf_with_drop_on_abort_survives_reentrant_teardown() {
+        // Regression (found by fuzzing): with GF's already-expired virtual
+        // deadlines and drop-on-abort local scheduling, submitting the
+        // first release of a global can abort the whole task while its
+        // remaining releases are still being submitted.
+        let cfg = SimConfig {
+            frac_local: 0.0,
+            load: 0.05,
+            shape: GlobalShape::ParallelFixed { n: 2 },
+            strategy: SdaStrategy {
+                ssp: sda_core::SspStrategy::Ud,
+                psp: sda_core::PspStrategy::gf(),
+            },
+            abort: AbortPolicy::LocalScheduler {
+                resubmit: ResubmitPolicy::Never,
+            },
+            duration: 600.0,
+            warmup: 10.0,
+            ..SimConfig::baseline()
+        };
+        let (sim, _) = tiny(cfg, 0, 600.0);
+        let m = sim.metrics();
+        // Every global dies instantly at its first dispatch.
+        assert!(m.global_count() > 0);
+        assert_eq!(m.md_global(), 1.0);
+        assert_eq!(sim.active_globals(), 0, "no leaked globals");
+    }
+
+    #[test]
+    fn gf_under_local_abort_is_pathological() {
+        // §7.3: GF's virtual deadlines are below arrival time, so every
+        // subtask is dispatched-aborted once, resubmitted with its real
+        // deadline, and the system degrades toward UD-with-overhead.
+        let cfg = SimConfig {
+            abort: AbortPolicy::LocalScheduler {
+                resubmit: ResubmitPolicy::OnceWithRealDeadline,
+            },
+            strategy: SdaStrategy {
+                ssp: sda_core::SspStrategy::Ud,
+                psp: sda_core::PspStrategy::gf(),
+            },
+            ..quick_cfg()
+        };
+        let (sim, _) = tiny(cfg, 13, 2_000.0);
+        let m = sim.metrics();
+        assert!(m.resubmissions > 0);
+        // Every submitted subtask must get aborted at least once.
+        assert!(m.local_scheduler_aborts >= m.resubmissions);
+    }
+
+    #[test]
+    fn figure14_shape_runs_end_to_end() {
+        let cfg = SimConfig {
+            strategy: SdaStrategy::eqf_div1(),
+            duration: 5_000.0,
+            ..SimConfig::section8()
+        };
+        let (sim, _) = tiny(cfg, 14, 5_000.0);
+        let m = sim.metrics();
+        assert!(m.global_count() > 100);
+        assert_eq!(m.global_md.keys().copied().collect::<Vec<_>>(), vec![11]);
+    }
+
+    #[test]
+    fn heterogeneous_n_populates_all_classes() {
+        let cfg = SimConfig {
+            shape: GlobalShape::ParallelUniform { lo: 2, hi: 6 },
+            ..quick_cfg()
+        };
+        let (sim, _) = tiny(cfg, 15, 5_000.0);
+        let classes: Vec<u32> = sim.metrics().global_md.keys().copied().collect();
+        assert_eq!(classes, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn utilization_tracks_load() {
+        let (sim, _) = tiny(quick_cfg(), 16, 5_000.0);
+        let (_, busy) = sim.into_results();
+        let total: f64 = busy.iter().sum();
+        let util = total / (6.0 * 5_000.0);
+        assert!(
+            (util - 0.5).abs() < 0.05,
+            "utilization {util} should be near the 0.5 offered load"
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_preserve_the_average_load() {
+        use crate::config::Burst;
+        let burst = Burst {
+            period: 50.0,
+            on_fraction: 0.2,
+            boost: 3.0,
+        };
+        assert!(burst.validate().is_ok());
+        // Mean multiplier is exactly 1.
+        let mean = 0.2 * burst.boost + 0.8 * burst.off_multiplier();
+        assert!((mean - 1.0).abs() < 1e-12);
+        let plain = tiny(quick_cfg(), 51, 10_000.0).0;
+        let bursty = tiny(
+            SimConfig {
+                burst: Some(burst),
+                ..quick_cfg()
+            },
+            51,
+            10_000.0,
+        )
+        .0;
+        // Same average arrival volume (within a few percent)...
+        let rel = (bursty.metrics().local_count() as f64 - plain.metrics().local_count() as f64)
+            .abs()
+            / plain.metrics().local_count() as f64;
+        assert!(rel < 0.05, "arrival volume drift {rel}");
+        // ...but many more misses: the transients do the damage (§5).
+        assert!(bursty.metrics().md_local() > 1.5 * plain.metrics().md_local());
+        assert!(bursty.metrics().md_global() > plain.metrics().md_global());
+    }
+
+    #[test]
+    fn burst_multiplier_is_periodic() {
+        use crate::config::Burst;
+        let b = Burst {
+            period: 10.0,
+            on_fraction: 0.3,
+            boost: 2.0,
+        };
+        assert_eq!(b.multiplier_at(0.0), 2.0);
+        assert_eq!(b.multiplier_at(2.9), 2.0);
+        assert!(b.multiplier_at(3.1) < 1.0);
+        assert_eq!(b.multiplier_at(12.9), b.multiplier_at(2.9));
+        assert!(b.validate().is_ok());
+        // Invalid parameter combinations are rejected.
+        assert!(
+            Burst { boost: 5.0, ..b }.validate().is_err(),
+            "boost >= 1/f"
+        );
+        assert!(Burst {
+            on_fraction: 0.0,
+            ..b
+        }
+        .validate()
+        .is_err());
+        assert!(Burst { period: 0.0, ..b }.validate().is_err());
+        let cfg = SimConfig {
+            burst: Some(Burst { boost: 5.0, ..b }),
+            ..quick_cfg()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(crate::config::ConfigError::BadBurst(_))
+        ));
+    }
+
+    #[test]
+    fn least_loaded_placement_spreads_and_prefers_idle_nodes() {
+        // Direct unit test of the placement function.
+        let spec = TaskSpec::parallel_simple(4);
+        let backlog = vec![5, 0, 3, 0, 1, 9];
+        let nodes = assign_nodes_least_loaded(&spec, &backlog);
+        let mut sorted = nodes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3, 4], "the four least-loaded, distinct");
+        // Serial stages spread too (same-task leaves count as load).
+        let pipeline = TaskSpec::pipeline(3);
+        let nodes = assign_nodes_least_loaded(&pipeline, &[0, 0, 0]);
+        let mut sorted = nodes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "equal backlog spreads across nodes");
+    }
+
+    #[test]
+    fn least_loaded_placement_reduces_global_misses() {
+        // Placement-awareness attacks the same phenomenon as deadline
+        // assignment, from the other side.
+        let random = tiny(quick_cfg(), 41, 5_000.0).0;
+        let jsq = tiny(
+            SimConfig {
+                placement: crate::config::Placement::LeastLoaded,
+                ..quick_cfg()
+            },
+            41,
+            5_000.0,
+        )
+        .0;
+        assert!(
+            jsq.metrics().md_global() < random.metrics().md_global(),
+            "least-loaded {} vs random {}",
+            jsq.metrics().md_global(),
+            random.metrics().md_global()
+        );
+    }
+
+    #[test]
+    fn assign_nodes_distinct_within_parallel() {
+        let mut rng = Rng::seed_from(1);
+        let spec = TaskSpec::parallel_simple(4);
+        for _ in 0..100 {
+            let nodes = assign_nodes(&spec, 6, &mut rng);
+            let mut sorted = nodes.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "parallel subtasks on distinct nodes");
+        }
+    }
+
+    #[test]
+    fn assign_nodes_figure14_per_stage_distinct() {
+        let mut rng = Rng::seed_from(2);
+        let spec = TaskSpec::pipeline_with_fanout(5, &[(1, 4), (3, 4)]);
+        for _ in 0..50 {
+            let nodes = assign_nodes(&spec, 6, &mut rng);
+            assert_eq!(nodes.len(), 11);
+            // Leaves 1..5 are stage 2; leaves 6..10 are stage 4.
+            for group in [&nodes[1..5], &nodes[6..10]] {
+                let mut sorted = group.to_vec();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), 4, "stage leaves must be distinct");
+            }
+            assert!(nodes.iter().all(|&n| n < 6));
+        }
+    }
+
+    #[test]
+    fn preemptive_edf_helps_urgent_tasks() {
+        // Preemption lets a freshly-arrived urgent task interrupt a long
+        // job instead of waiting it out; at moderate-high load it must
+        // not increase the local miss rate, and utilization is conserved
+        // (preemptive-resume wastes no work).
+        let base = SimConfig {
+            load: 0.7,
+            ..quick_cfg()
+        };
+        let np = tiny(base.clone(), 31, 5_000.0).0;
+        let pre = tiny(
+            SimConfig {
+                preemptive: true,
+                ..base
+            },
+            31,
+            5_000.0,
+        )
+        .0;
+        let md_np = np.metrics().md_local();
+        let md_pre = pre.metrics().md_local();
+        assert!(
+            md_pre < md_np + 0.01,
+            "preemptive {md_pre} vs non-preemptive {md_np}"
+        );
+        let (_, busy_np) = np.into_results();
+        let (_, busy_pre) = pre.into_results();
+        let total_np: f64 = busy_np.iter().sum();
+        let total_pre: f64 = busy_pre.iter().sum();
+        assert!(
+            (total_np - total_pre).abs() / total_np < 0.02,
+            "work conserved: {total_np} vs {total_pre}"
+        );
+    }
+
+    #[test]
+    fn preemptions_happen_and_are_counted() {
+        let base = quick_cfg().with_load(0.8);
+        let np = tiny(base.clone(), 32, 3_000.0).0;
+        assert_eq!(np.metrics().preemptions, 0, "non-preemptive never preempts");
+        let pre = tiny(
+            SimConfig {
+                preemptive: true,
+                ..base
+            },
+            32,
+            3_000.0,
+        )
+        .0;
+        assert!(
+            pre.metrics().preemptions > 100,
+            "preemptions: {}",
+            pre.metrics().preemptions
+        );
+    }
+
+    #[test]
+    fn heterogeneous_speeds_skew_per_node_utilization() {
+        let cfg = SimConfig {
+            node_speeds: vec![2.0, 2.0, 1.0, 1.0, 0.5, 0.5],
+            ..quick_cfg()
+        };
+        let (sim, _) = tiny(cfg, 33, 5_000.0);
+        let (_, busy) = sim.into_results();
+        // Arrivals are uniform across nodes, so slow nodes are busier
+        // (higher utilization) than fast ones.
+        assert!(
+            busy[4] > busy[0],
+            "slow node busy {} vs fast node busy {}",
+            busy[4],
+            busy[0]
+        );
+    }
+
+    #[test]
+    fn heterogeneous_speeds_raise_global_miss_rates() {
+        // A parallel global task is hostage to its slowest node: with the
+        // same total capacity, heterogeneity hurts globals under UD.
+        let homo = tiny(quick_cfg(), 34, 5_000.0).0;
+        let hetero = tiny(
+            SimConfig {
+                node_speeds: vec![1.75, 1.75, 1.0, 1.0, 0.25, 0.25],
+                ..quick_cfg()
+            },
+            34,
+            5_000.0,
+        )
+        .0;
+        assert!(hetero.metrics().md_global() > homo.metrics().md_global());
+    }
+
+    #[test]
+    fn deterministic_service_reduces_misses() {
+        // Lower service variance => lower queueing variance => fewer
+        // misses at the same load.
+        let exp = tiny(quick_cfg(), 35, 5_000.0).0;
+        let det = tiny(
+            SimConfig {
+                service_shape: crate::config::ServiceShape::Deterministic,
+                ..quick_cfg()
+            },
+            35,
+            5_000.0,
+        )
+        .0;
+        assert!(det.metrics().md_local() < exp.metrics().md_local());
+        assert!(det.metrics().md_global() < exp.metrics().md_global());
+    }
+
+    #[test]
+    fn psp_amplification_survives_deterministic_service() {
+        // The PSP effect is a queueing phenomenon, not a service-variance
+        // artifact: even with deterministic service, global tasks under UD
+        // miss notably more than locals.
+        let cfg = SimConfig {
+            service_shape: crate::config::ServiceShape::Deterministic,
+            load: 0.7,
+            ..quick_cfg()
+        };
+        let (sim, _) = tiny(cfg, 36, 5_000.0);
+        let m = sim.metrics();
+        assert!(m.md_global() > 1.5 * m.md_local());
+    }
+
+    #[test]
+    fn preemption_with_pm_abort_is_consistent() {
+        // Exercise the preemption/abortion interplay: preempted jobs must
+        // still be removable from queues by their PM timers.
+        let cfg = SimConfig {
+            preemptive: true,
+            abort: AbortPolicy::ProcessManager,
+            load: 0.85,
+            ..quick_cfg()
+        };
+        let (sim, engine) = tiny(cfg, 37, 5_000.0);
+        let m = sim.metrics();
+        assert!(m.aborted_globals > 0);
+        assert!(m.aborted_locals > 0);
+        assert!(sim.active_globals() < 100);
+        assert!(engine.events_pending() < 2_000);
+    }
+
+    #[test]
+    fn trace_records_full_task_lifecycles() {
+        use std::sync::{Arc, Mutex};
+        let events: Arc<Mutex<Vec<(f64, TraceEvent)>>> = Arc::default();
+        let sink = Arc::clone(&events);
+        let mut sim = Simulation::new(quick_cfg(), 5).expect("valid");
+        sim.set_trace(Box::new(move |now, ev| {
+            sink.lock().unwrap().push((now.value(), *ev));
+        }));
+        let mut engine = Engine::new();
+        sim.prime(&mut engine);
+        engine.run_until(&mut sim, SimTime::from(200.0));
+
+        let events = events.lock().unwrap();
+        assert!(!events.is_empty());
+        // Times are non-decreasing.
+        for pair in events.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+        let count = |f: &dyn Fn(&TraceEvent) -> bool| events.iter().filter(|(_, e)| f(e)).count();
+        let arrivals = count(&|e| matches!(e, TraceEvent::GlobalArrived { .. }));
+        let finishes = count(&|e| matches!(e, TraceEvent::GlobalFinished { .. }));
+        let submissions = count(&|e| matches!(e, TraceEvent::SubtaskSubmitted { .. }));
+        assert!(arrivals > 0);
+        assert!(finishes <= arrivals, "cannot finish more than arrived");
+        assert!(
+            arrivals - finishes < 30,
+            "most globals finish within 200 units"
+        );
+        assert_eq!(
+            submissions,
+            4 * arrivals,
+            "every baseline global submits 4 subtasks"
+        );
+        // Service starts and completions match up (within in-flight slack).
+        let starts = count(&|e| matches!(e, TraceEvent::ServiceStarted { .. }));
+        let completes = count(&|e| matches!(e, TraceEvent::ServiceCompleted { .. }));
+        assert!(starts >= completes && starts - completes <= 6);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_run() {
+        let plain = tiny(quick_cfg(), 6, 2_000.0).0;
+        let mut traced = Simulation::new(quick_cfg(), 6).expect("valid");
+        traced.set_trace(Box::new(|_, _| {}));
+        let mut engine = Engine::new();
+        traced.prime(&mut engine);
+        engine.run_until(&mut traced, SimTime::from(2_000.0));
+        assert_eq!(plain.metrics().local_md, traced.metrics().local_md);
+        assert_eq!(plain.metrics().md_global(), traced.metrics().md_global());
+    }
+
+    #[test]
+    fn gf_serves_subtasks_before_locals() {
+        // With GF at moderate load, subtask queueing is short: MD_global
+        // under GF must be below UD's.
+        let ud = tiny(quick_cfg(), 17, 5_000.0).0;
+        let cfg = quick_cfg().with_strategy(SdaStrategy {
+            ssp: sda_core::SspStrategy::Ud,
+            psp: sda_core::PspStrategy::gf(),
+        });
+        let gf = tiny(cfg, 17, 5_000.0).0;
+        assert!(gf.metrics().md_global() < ud.metrics().md_global());
+    }
+}

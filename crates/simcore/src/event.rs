@@ -1,0 +1,300 @@
+//! The event calendar: a cancellable priority queue of timestamped events.
+//!
+//! Properties the simulator relies on:
+//!
+//! * events pop in non-decreasing time order;
+//! * events scheduled for the *same* time pop in FIFO (insertion) order, so
+//!   runs are deterministic regardless of heap internals;
+//! * any pending event can be cancelled in O(1) amortized via its
+//!   [`EventHandle`] (used for the process-manager abort timers of §7.3,
+//!   which are cancelled when the task completes on time).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An opaque handle to a scheduled event, used for cancellation.
+///
+/// Handles are only meaningful for the calendar that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+impl EventHandle {
+    /// The raw sequence number (for diagnostics).
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+/// One calendar entry. Ordered by (time, seq) so the `BinaryHeap` (a
+/// max-heap wrapped by reversing the order) pops earliest-first with FIFO
+/// tie-breaking.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest time (and
+        // the lowest sequence number within a time) at the top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A cancellable event calendar.
+///
+/// ```
+/// use sda_simcore::event::Calendar;
+/// use sda_simcore::SimTime;
+///
+/// let mut cal = Calendar::new();
+/// let _a = cal.schedule(SimTime::from(2.0), "second");
+/// let b = cal.schedule(SimTime::from(1.0), "first");
+/// cal.cancel(b);
+/// let (t, e) = cal.pop().unwrap();
+/// assert_eq!((t, e), (SimTime::from(2.0), "second"));
+/// assert!(cal.pop().is_none());
+/// ```
+pub struct Calendar<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Sequence numbers of live (scheduled, neither popped nor cancelled)
+    /// events. Makes `cancel` robust: cancelling an event that already
+    /// popped is a detectable no-op rather than a poisoned tombstone.
+    pending: std::collections::HashSet<u64>,
+    /// Cancelled sequence numbers whose heap entries have not been purged
+    /// yet (lazy deletion).
+    cancelled: std::collections::HashSet<u64>,
+}
+
+impl<E> Calendar<E> {
+    /// Creates an empty calendar.
+    pub fn new() -> Calendar<E> {
+        Calendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending: std::collections::HashSet::new(),
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`; returns a handle that can
+    /// cancel it while it is still pending.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        self.pending.insert(seq);
+        EventHandle(seq)
+    }
+
+    /// Cancels a pending event.
+    ///
+    /// Returns `true` if the event was still pending (and is now guaranteed
+    /// never to pop). Returns `false` — with no other effect — if the event
+    /// already popped, was already cancelled, or was never issued by this
+    /// calendar; cancellation is safe to use best-effort (e.g. a timer
+    /// cancelling *itself* from within its own handler is a no-op).
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if self.pending.remove(&handle.0) {
+            self.cancelled.insert(handle.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest non-cancelled event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue; // skip cancelled tombstones
+            }
+            self.pending.remove(&entry.seq);
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest pending (non-cancelled) event, without
+    /// removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Purge cancelled tombstones from the top so the peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of pending entries, *including* not-yet-purged cancelled ones.
+    ///
+    /// This is an upper bound on the number of live events; it is exact when
+    /// nothing has been cancelled since the last pop of those entries.
+    pub fn len_upper_bound(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Calendar<E> {
+        Calendar::new()
+    }
+}
+
+impl<E> std::fmt::Debug for Calendar<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Calendar")
+            .field("pending", &self.heap.len())
+            .field("cancelled", &self.cancelled.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f64) -> SimTime {
+        SimTime::from(v)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(t(3.0), 'c');
+        cal.schedule(t(1.0), 'a');
+        cal.schedule(t(2.0), 'b');
+        assert_eq!(cal.pop(), Some((t(1.0), 'a')));
+        assert_eq!(cal.pop(), Some((t(2.0), 'b')));
+        assert_eq!(cal.pop(), Some((t(3.0), 'c')));
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut cal = Calendar::new();
+        for i in 0..100 {
+            cal.schedule(t(5.0), i);
+        }
+        for i in 0..100 {
+            assert_eq!(cal.pop(), Some((t(5.0), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_prevents_pop() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(t(1.0), "x");
+        cal.schedule(t(2.0), "y");
+        assert!(cal.cancel(h));
+        assert_eq!(cal.pop(), Some((t(2.0), "y")));
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn cancel_after_pop_is_a_noop() {
+        // Regression: a handler cancelling the very event it is processing
+        // (e.g. an abort routine cancelling the timer that invoked it)
+        // must not poison the calendar's bookkeeping.
+        let mut cal = Calendar::new();
+        let h = cal.schedule(t(1.0), "fires");
+        cal.schedule(t(2.0), "later");
+        assert_eq!(cal.pop(), Some((t(1.0), "fires")));
+        assert!(!cal.cancel(h), "already popped");
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.pop(), Some((t(2.0), "later")));
+        assert_eq!(cal.len(), 0);
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn cancel_twice_returns_false() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(t(1.0), ());
+        assert!(cal.cancel(h));
+        assert!(!cal.cancel(h));
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_false() {
+        let mut cal: Calendar<()> = Calendar::new();
+        assert!(!cal.cancel(EventHandle(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(t(1.0), 1);
+        cal.schedule(t(2.0), 2);
+        assert_eq!(cal.peek_time(), Some(t(1.0)));
+        cal.cancel(h);
+        assert_eq!(cal.peek_time(), Some(t(2.0)));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut cal = Calendar::new();
+        let h1 = cal.schedule(t(1.0), 1);
+        cal.schedule(t(2.0), 2);
+        assert_eq!(cal.len(), 2);
+        assert!(!cal.is_empty());
+        cal.cancel(h1);
+        assert_eq!(cal.len(), 1);
+        cal.pop();
+        assert_eq!(cal.len(), 0);
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_cancel() {
+        let mut cal = Calendar::new();
+        let mut popped = Vec::new();
+        let h5 = cal.schedule(t(5.0), 5);
+        cal.schedule(t(1.0), 1);
+        popped.push(cal.pop().unwrap().1);
+        cal.schedule(t(3.0), 3);
+        cal.cancel(h5);
+        cal.schedule(t(4.0), 4);
+        while let Some((_, e)) = cal.pop() {
+            popped.push(e);
+        }
+        assert_eq!(popped, vec![1, 3, 4]);
+    }
+}

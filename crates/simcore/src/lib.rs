@@ -1,0 +1,74 @@
+//! # sda-simcore — deterministic discrete-event simulation engine
+//!
+//! The evaluation in Kao & Garcia-Molina (ICDCS 1994) was carried out with
+//! the *DeNet* simulation language, which is not publicly available. This
+//! crate is the substitute substrate: a small, fast, fully deterministic
+//! discrete-event simulation (DES) kernel providing exactly the primitives
+//! the paper's model needs, and nothing exotic:
+//!
+//! * a simulation clock and an event calendar with stable FIFO tie-breaking
+//!   and cancellable events ([`Engine`], [`EventHandle`]),
+//! * reproducible random-number streams ([`rng::Rng`], xoshiro256++ seeded
+//!   through splitmix64 so that independent streams can be split off a
+//!   single experiment seed),
+//! * the statistical distributions used by the workload generators
+//!   ([`dist::Exp`], [`dist::Uniform`], ...), and
+//! * output statistics: means, variances, miss-rate (ratio) estimators and
+//!   Student-t confidence intervals across replications ([`stats`]).
+//!
+//! The engine is single-threaded and deterministic: given the same seed and
+//! the same model, a run produces bit-identical results. Parallelism across
+//! *replications* belongs to the caller (see `sda-sim`).
+//!
+//! ## Example
+//!
+//! A machine that fails after an exponential lifetime and is repaired after
+//! a fixed delay:
+//!
+//! ```
+//! use sda_simcore::{Engine, Model, SimTime};
+//! use sda_simcore::dist::{Exp, Sample};
+//! use sda_simcore::rng::Rng;
+//!
+//! #[derive(Debug)]
+//! enum Ev { Fail, Repaired }
+//!
+//! struct Machine { rng: Rng, lifetime: Exp, failures: u64 }
+//!
+//! impl Model for Machine {
+//!     type Event = Ev;
+//!     fn handle(&mut self, engine: &mut Engine<Ev>, event: Ev) {
+//!         match event {
+//!             Ev::Fail => {
+//!                 self.failures += 1;
+//!                 engine.schedule_after(2.5, Ev::Repaired);
+//!             }
+//!             Ev::Repaired => {
+//!                 let life = self.lifetime.sample(&mut self.rng);
+//!                 engine.schedule_after(life, Ev::Fail);
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new();
+//! let mut machine = Machine { rng: Rng::seed_from(7), lifetime: Exp::new(10.0), failures: 0 };
+//! let first = machine.lifetime.sample(&mut machine.rng);
+//! engine.schedule(SimTime::from(first), Ev::Fail);
+//! engine.run_until(&mut machine, SimTime::from(10_000.0));
+//! assert!(machine.failures > 100);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dist;
+pub mod engine;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Engine, Model};
+pub use event::EventHandle;
+pub use time::SimTime;

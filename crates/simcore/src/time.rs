@@ -1,0 +1,228 @@
+//! Simulation time.
+//!
+//! The paper measures everything in multiples of the mean local-task
+//! execution time (`1/mu_local = 1`), so simulation time is a plain `f64`
+//! wrapped in a newtype that enforces the one invariant the event calendar
+//! relies on: **time is never NaN**, which makes the ordering total.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulation time.
+///
+/// `SimTime` is a thin wrapper around `f64` providing a *total* order
+/// (construction panics on NaN), so it can be used as a key in the event
+/// calendar and in scheduler queues.
+///
+/// ```
+/// use sda_simcore::SimTime;
+/// let t = SimTime::from(1.5) + 2.0;
+/// assert_eq!(t, SimTime::from(3.5));
+/// assert!(SimTime::ZERO < t);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The origin of simulation time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// A time later than every time reachable in a simulation.
+    ///
+    /// Useful as a sentinel "never" deadline.
+    pub const INFINITY: SimTime = SimTime(f64::INFINITY);
+
+    /// A time earlier than every reachable time (used by the GF strategy,
+    /// which shifts deadlines by a huge constant).
+    pub const NEG_INFINITY: SimTime = SimTime(f64::NEG_INFINITY);
+
+    /// Creates a `SimTime` from a raw `f64` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN: the event calendar requires a total order.
+    #[inline]
+    pub fn new(value: f64) -> SimTime {
+        assert!(!value.is_nan(), "SimTime cannot be NaN");
+        SimTime(value)
+    }
+
+    /// Returns the raw `f64` value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `true` if this time is finite (neither ±∞).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Saturating difference `self - earlier`, clamped at zero.
+    ///
+    /// Handy for "remaining slack" computations where a deadline may have
+    /// already passed.
+    ///
+    /// ```
+    /// use sda_simcore::SimTime;
+    /// let dl = SimTime::from(5.0);
+    /// assert_eq!(dl.saturating_since(SimTime::from(7.0)), 0.0);
+    /// assert_eq!(dl.saturating_since(SimTime::from(2.0)), 3.0);
+    /// ```
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &SimTime) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &SimTime) -> Ordering {
+        // Invariant: never NaN, so partial_cmp always succeeds.
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime is never NaN by construction")
+    }
+}
+
+impl From<f64> for SimTime {
+    #[inline]
+    fn from(value: f64) -> SimTime {
+        SimTime::new(value)
+    }
+}
+
+impl From<SimTime> for f64 {
+    #[inline]
+    fn from(value: SimTime) -> f64 {
+        value.0
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, delay: f64) -> SimTime {
+        SimTime::new(self.0 + delay)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, delay: f64) {
+        *self = *self + delay;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+    #[inline]
+    fn sub(self, other: SimTime) -> f64 {
+        self.0 - other.0
+    }
+}
+
+impl Sub<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, delay: f64) -> SimTime {
+        SimTime::new(self.0 - delay)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_on_finite_values() {
+        let a = SimTime::from(1.0);
+        let b = SimTime::from(2.0);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from(10.0);
+        assert_eq!((t + 5.0).value(), 15.0);
+        assert_eq!(t - SimTime::from(4.0), 6.0);
+        assert_eq!((t - 4.0).value(), 6.0);
+        let mut u = t;
+        u += 1.0;
+        assert_eq!(u.value(), 11.0);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let dl = SimTime::from(3.0);
+        assert_eq!(dl.saturating_since(SimTime::from(10.0)), 0.0);
+        assert_eq!(dl.saturating_since(SimTime::ZERO), 3.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from(1.0);
+        let b = SimTime::from(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn infinities_order_correctly() {
+        assert!(SimTime::NEG_INFINITY < SimTime::ZERO);
+        assert!(SimTime::ZERO < SimTime::INFINITY);
+        assert!(!SimTime::INFINITY.is_finite());
+        assert!(SimTime::ZERO.is_finite());
+    }
+}

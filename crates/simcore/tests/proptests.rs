@@ -1,0 +1,164 @@
+//! Property-based tests of the engine substrate: calendar ordering,
+//! statistics algebra, and distribution invariants.
+
+use proptest::prelude::*;
+
+use sda_simcore::dist::{Exp, Sample, Uniform};
+use sda_simcore::event::Calendar;
+use sda_simcore::rng::Rng;
+use sda_simcore::stats::{Histogram, Replications, Welford};
+use sda_simcore::SimTime;
+
+proptest! {
+    #[test]
+    fn calendar_pops_in_nondecreasing_time_order(
+        times in prop::collection::vec(0.0f64..1e6, 1..200),
+    ) {
+        let mut cal = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::from(t), i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut seen = 0;
+        while let Some((t, _)) = cal.pop() {
+            prop_assert!(t.value() >= last);
+            last = t.value();
+            seen += 1;
+        }
+        prop_assert_eq!(seen, times.len());
+    }
+
+    #[test]
+    fn calendar_cancellation_removes_exactly_the_cancelled(
+        times in prop::collection::vec(0.0f64..1e3, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut cal = Calendar::new();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, cal.schedule(SimTime::from(t), i)))
+            .collect();
+        let mut expect: Vec<usize> = Vec::new();
+        for (i, handle) in &handles {
+            let cancel = cancel_mask.get(*i).copied().unwrap_or(false);
+            if cancel {
+                prop_assert!(cal.cancel(*handle));
+            } else {
+                expect.push(*i);
+            }
+        }
+        prop_assert_eq!(cal.len(), expect.len());
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some((_, e)) = cal.pop() {
+            popped.push(e);
+        }
+        popped.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn welford_merge_is_order_independent(
+        a in prop::collection::vec(-100.0f64..100.0, 1..50),
+        b in prop::collection::vec(-100.0f64..100.0, 1..50),
+    ) {
+        let fill = |xs: &[f64]| {
+            let mut w = Welford::new();
+            for &x in xs {
+                w.push(x);
+            }
+            w
+        };
+        let mut ab = fill(&a);
+        ab.merge(&fill(&b));
+        let mut ba = fill(&b);
+        ba.merge(&fill(&a));
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        prop_assert!((ab.sample_variance() - ba.sample_variance()).abs() < 1e-7);
+        // And equals the sequential fill.
+        let joint: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let whole = fill(&joint);
+        prop_assert!((ab.mean() - whole.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_in_q(
+        xs in prop::collection::vec(0.0f64..50.0, 1..200),
+    ) {
+        let mut h = Histogram::new(0.5, 60.0);
+        for &x in &xs {
+            h.record(x);
+        }
+        let mut last = 0.0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn replication_interval_covers_the_mean_of_its_inputs(
+        values in prop::collection::vec(0.0f64..1.0, 2..20),
+    ) {
+        let reps: Replications = values.iter().copied().collect();
+        let e = reps.estimate();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((e.mean - mean).abs() < 1e-12);
+        prop_assert!(e.covers(mean));
+        prop_assert!(e.half_width >= 0.0);
+    }
+
+    #[test]
+    fn exponential_samples_are_positive_finite(seed in any::<u64>(), mean in 0.01f64..100.0) {
+        let mut rng = Rng::seed_from(seed);
+        let d = Exp::with_mean(mean);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_samples_stay_in_bounds(
+        seed in any::<u64>(),
+        lo in -100.0f64..100.0,
+        width in 0.0f64..100.0,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let d = Uniform::new(lo, lo + width);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= lo && x <= lo + width);
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>(), id in any::<u64>()) {
+        let base = Rng::seed_from(seed);
+        let mut a = base.stream(id);
+        let mut b = base.stream(id);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn choose_distinct_is_a_partial_permutation(
+        seed in any::<u64>(),
+        population in 1usize..64,
+        take_frac in 0.0f64..=1.0,
+    ) {
+        let count = ((population as f64) * take_frac) as usize;
+        let mut rng = Rng::seed_from(seed);
+        let picks = rng.choose_distinct(population, count);
+        prop_assert_eq!(picks.len(), count);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), count, "picks must be distinct");
+        prop_assert!(picks.iter().all(|&p| p < population));
+    }
+}

@@ -1,0 +1,92 @@
+//! An operator's playbook: choosing a strategy under overload management.
+//!
+//! §7.3's punchline is that the best PSP strategy depends on *who aborts
+//! tardy tasks*: GF wins when nothing is aborted, but is inapplicable if
+//! local schedulers abort on (virtual) deadlines — every GF subtask's
+//! deadline is already in the past when it arrives. This example measures
+//! that whole decision matrix, plus EQF's robustness to bad execution-time
+//! estimates (§8).
+//!
+//! Run with: `cargo run --release --example overload_playbook`
+
+use sda::prelude::*;
+
+fn psp(psp: PspStrategy) -> SdaStrategy {
+    SdaStrategy {
+        ssp: SspStrategy::Ud,
+        psp,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let strategies = [
+        ("UD", psp(PspStrategy::Ud)),
+        ("DIV-1", psp(PspStrategy::div(1.0))),
+        ("GF", psp(PspStrategy::gf())),
+    ];
+    let modes = [
+        ("no abortion", AbortPolicy::None),
+        ("PM abortion", AbortPolicy::ProcessManager),
+        (
+            "local abortion",
+            AbortPolicy::LocalScheduler {
+                resubmit: ResubmitPolicy::OnceWithRealDeadline,
+            },
+        ),
+    ];
+
+    println!("MD_global at load 0.7, by strategy x overload management:\n");
+    print!("  {:<8}", "");
+    for (mode, _) in &modes {
+        print!(" {mode:>16}");
+    }
+    println!();
+    for (label, strategy) in &strategies {
+        print!("  {label:<8}");
+        for (_, abort) in &modes {
+            let cfg = SimConfig {
+                abort: *abort,
+                load: 0.7,
+                duration: 100_000.0,
+                ..SimConfig::baseline()
+            }
+            .with_strategy(*strategy);
+            let multi = replicate(&cfg, &seeds(33, 2))?;
+            print!(" {:>15.1}%", 100.0 * multi.md_global().mean);
+        }
+        println!();
+    }
+    println!(
+        "\nReading the matrix (the paper's §7.3 guidance):\n\
+         - no abortion:    GF holds the edge;\n\
+         - PM abortion:    DIV-1 and GF converge — pick DIV-1 for fairness\n\
+                           across task sizes;\n\
+         - local abortion: aggressive virtual deadlines backfire (aborted\n\
+                           subtasks burn their slack on a wasted first try);\n\
+                           GF degenerates completely."
+    );
+
+    // EQF estimation-error robustness (§8): the serial-parallel workload
+    // with predictions off by up to a factor of 2 and 4.
+    println!("\nEQF-DIV1 on the 5-stage trading workload vs pex error (load 0.5):\n");
+    for (label, estimation) in [
+        ("exact pex", EstimationModel::Exact),
+        ("off by <=2x", EstimationModel::uniform_factor(2.0)),
+        ("off by <=4x", EstimationModel::uniform_factor(4.0)),
+    ] {
+        let cfg = SimConfig {
+            estimation,
+            duration: 100_000.0,
+            ..SimConfig::section8()
+        }
+        .with_strategy(SdaStrategy::eqf_div1());
+        let multi = replicate(&cfg, &seeds(34, 2))?;
+        println!(
+            "  {:<12} MD_global = {:>5.1}%",
+            label,
+            100.0 * multi.md_global().mean
+        );
+    }
+    println!("\nEQF only needs *relative* stage lengths, so 2x noise barely hurts (§8).");
+    Ok(())
+}

