@@ -1,0 +1,63 @@
+//! Benchmarks of the parallel replication [`Runner`]: the same fixed
+//! replication budget executed at different `jobs` levels, so the
+//! speedup (and the thread-pool overhead at jobs=1) is visible in one
+//! criterion report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sda_sim::{Runner, SimConfig, StopRule};
+
+/// A configuration sized so one replication takes a few milliseconds:
+/// long enough that parallelism wins, short enough to bench.
+fn bench_cfg() -> SimConfig {
+    SimConfig {
+        duration: 5_000.0,
+        warmup: 100.0,
+        ..SimConfig::baseline()
+    }
+}
+
+/// Eight fixed replications at jobs ∈ {1, 2, 4}. The work is identical
+/// at every level (the derived seed stream does not depend on `jobs`),
+/// so the ratio of the reported times is the parallel speedup.
+fn runner_jobs(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut group = c.benchmark_group("runner_8_reps");
+    for jobs in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let multi = Runner::new(cfg.clone())
+                    .seed(42)
+                    .jobs(jobs)
+                    .stop(StopRule::FixedReps(8))
+                    .execute()
+                    .expect("bench config must be valid");
+                black_box(multi.md_global().mean)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// CI-driven adaptive stopping at a loose target: measures the overhead
+/// of the convergence checks relative to a fixed budget of the same
+/// minimum size.
+fn runner_ci_width(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    c.bench_function("runner_ci_width_loose", |b| {
+        b.iter(|| {
+            let multi = Runner::new(cfg.clone())
+                .seed(42)
+                .jobs(4)
+                .stop(StopRule::CiWidth(0.5))
+                .max_reps(16)
+                .execute()
+                .expect("bench config must be valid");
+            black_box(multi.runs().len())
+        });
+    });
+}
+
+criterion_group!(benches, runner_jobs, runner_ci_width);
+criterion_main!(benches);

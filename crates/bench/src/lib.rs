@@ -12,7 +12,7 @@
 //!
 //! Shared helpers live here.
 
-use sda_sim::{RunResult, SimConfig};
+use sda_sim::{RunResult, Runner, SimConfig, StopRule};
 
 /// A single-point simulation run sized for benchmarking (one seed,
 /// 10,000 time units), used by the per-figure point benches.
@@ -26,7 +26,14 @@ pub fn bench_run(cfg: &SimConfig) -> RunResult {
         warmup: 100.0,
         ..cfg.clone()
     };
-    sda_sim::run(&cfg, 1).expect("bench config must be valid")
+    Runner::new(cfg)
+        .with_seeds(vec![1])
+        .jobs(1)
+        .stop(StopRule::FixedReps(1))
+        .execute()
+        .expect("bench config must be valid")
+        .runs()[0]
+        .clone()
 }
 
 #[cfg(test)]

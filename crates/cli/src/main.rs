@@ -1,13 +1,18 @@
 //! The `sda` command-line tool.
 //!
 //! ```text
-//! sda run [CONFIG] [key=value ...] [--seed N] [--reps N]
+//! sda run [CONFIG] [key=value ...] [OPTIONS]
 //!     Run a simulation and print a report. CONFIG is an optional
 //!     config file (see `sda help config`); key=value pairs override it.
 //!
-//! sda compare [CONFIG] STRATEGY [STRATEGY ...] [--seed N] [--reps N]
+//! sda compare [CONFIG] STRATEGY [STRATEGY ...] [OPTIONS]
 //!     Run the same workload under several strategies (common random
 //!     numbers) and print a side-by-side miss-rate table.
+//!
+//! Shared options: --seed N, --reps N, --jobs N (worker threads,
+//! 0 = auto), --ci-target R (adaptive stopping on the 95% CI width
+//! ratio; --reps becomes the floor, --max-reps the cap), and
+//! --stats-out PATH (write per-metric statistics as stats.json).
 //!
 //! sda decompose SPEC DEADLINE STRATEGY [--pex P1,P2,...]
 //!     Decompose an end-to-end deadline over a serial-parallel task
@@ -22,7 +27,7 @@ use std::process::ExitCode;
 use sda_cli::{apply_setting, load_config, parse_strategy, render_report};
 use sda_core::Decomposition;
 use sda_model::parse_spec;
-use sda_sim::{replicate, seeds, SimConfig};
+use sda_sim::{MultiRun, Runner, SimConfig, StopRule};
 use sda_simcore::SimTime;
 
 fn main() -> ExitCode {
@@ -47,30 +52,102 @@ fn main() -> ExitCode {
     }
 }
 
-/// Shared option scanning: extracts `--seed N` / `--reps N`, leaving the
+/// The replication options shared by `run`, `compare`, and `sweep`.
+#[derive(Debug, Clone)]
+struct RunOptions {
+    /// Base seed of the derived replication-seed stream.
+    seed: u64,
+    /// Replications per point (the floor when `--ci-target` is set).
+    reps: usize,
+    /// Worker threads per point (0 = the machine's parallelism).
+    jobs: usize,
+    /// Adaptive stopping: target 95% CI width ratio.
+    ci_target: Option<f64>,
+    /// Replication cap under `--ci-target`.
+    max_reps: usize,
+    /// Where to write the per-metric `stats.json`, if anywhere.
+    stats_out: Option<String>,
+}
+
+impl RunOptions {
+    /// Runs `cfg` under these options.
+    fn execute(&self, cfg: &SimConfig) -> Result<MultiRun, String> {
+        let stop = match self.ci_target {
+            Some(target) => StopRule::CiWidth(target),
+            None => StopRule::FixedReps(self.reps),
+        };
+        Runner::new(cfg.clone())
+            .seed(self.seed)
+            .jobs(self.jobs)
+            .stop(stop)
+            .min_reps(self.reps.max(2))
+            .max_reps(self.max_reps)
+            .execute()
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Writes a `stats.json` document, reporting where it went.
+fn write_stats(path: &str, json: &str) -> Result<(), String> {
+    std::fs::write(path, format!("{json}\n"))
+        .map_err(|e| format!("cannot write stats to {path:?}: {e}"))?;
+    eprintln!("stats written to {path}");
+    Ok(())
+}
+
+/// Shared option scanning: extracts the replication options, leaving the
 /// positional arguments.
-fn split_options(args: &[String]) -> Result<(Vec<&String>, u64, usize), String> {
-    let mut seed = 42u64;
-    let mut reps = 2usize;
+fn split_options(args: &[String]) -> Result<(Vec<&String>, RunOptions), String> {
+    let mut opts = RunOptions {
+        seed: 42,
+        reps: 2,
+        jobs: 0,
+        ci_target: None,
+        max_reps: 64,
+        stats_out: None,
+    };
     let mut positional = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--seed" => {
                 let v = iter.next().ok_or("--seed needs a value")?;
-                seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
             }
             "--reps" => {
                 let v = iter.next().ok_or("--reps needs a value")?;
-                reps = v.parse().map_err(|_| format!("bad reps {v:?}"))?;
-                if reps == 0 {
+                opts.reps = v.parse().map_err(|_| format!("bad reps {v:?}"))?;
+                if opts.reps == 0 {
                     return Err("reps must be at least 1".into());
                 }
+            }
+            "--jobs" => {
+                let v = iter.next().ok_or("--jobs needs a value")?;
+                opts.jobs = v.parse().map_err(|_| format!("bad jobs {v:?}"))?;
+            }
+            "--ci-target" => {
+                let v = iter.next().ok_or("--ci-target needs a value")?;
+                let target: f64 = v.parse().map_err(|_| format!("bad ci target {v:?}"))?;
+                if target <= 0.0 {
+                    return Err("ci target must be positive".into());
+                }
+                opts.ci_target = Some(target);
+            }
+            "--max-reps" => {
+                let v = iter.next().ok_or("--max-reps needs a value")?;
+                opts.max_reps = v.parse().map_err(|_| format!("bad max reps {v:?}"))?;
+                if opts.max_reps == 0 {
+                    return Err("max reps must be at least 1".into());
+                }
+            }
+            "--stats-out" => {
+                let v = iter.next().ok_or("--stats-out needs a value")?;
+                opts.stats_out = Some(v.clone());
             }
             _ => positional.push(arg),
         }
     }
-    Ok((positional, seed, reps))
+    Ok((positional, opts))
 }
 
 /// Builds a configuration from an optional leading config-file path and
@@ -96,19 +173,22 @@ fn build_config<'a>(positional: &[&'a String]) -> Result<(SimConfig, Vec<&'a Str
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let (positional, seed, reps) = split_options(args)?;
+    let (positional, opts) = split_options(args)?;
     let (cfg, leftovers) = build_config(&positional)?;
     if let Some(extra) = leftovers.first() {
         return Err(format!("unexpected argument {extra:?}"));
     }
     cfg.validate().map_err(|e| e.to_string())?;
-    let multi = replicate(&cfg, &seeds(seed, reps)).map_err(|e| e.to_string())?;
+    let multi = opts.execute(&cfg)?;
     print!("{}", render_report(&cfg, &multi));
+    if let Some(path) = &opts.stats_out {
+        write_stats(path, &multi.stats().to_json())?;
+    }
     Ok(())
 }
 
 fn cmd_compare(args: &[String]) -> Result<(), String> {
-    let (positional, seed, reps) = split_options(args)?;
+    let (positional, opts) = split_options(args)?;
     let (base, strategy_args) = build_config(&positional)?;
     if strategy_args.is_empty() {
         return Err("compare needs at least one strategy label (e.g. UD-UD EQF-DIV1)".into());
@@ -118,10 +198,11 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         "{:<12} {:>16} {:>16} {:>16}",
         "strategy", "MD_local", "MD_global", "missed work"
     );
+    let mut stats_entries = Vec::new();
     for label in strategy_args {
         let strategy = parse_strategy(label)?;
         let cfg = base.clone().with_strategy(strategy);
-        let multi = replicate(&cfg, &seeds(seed, reps)).map_err(|e| e.to_string())?;
+        let multi = opts.execute(&cfg)?;
         println!(
             "{:<12} {:>16} {:>16} {:>16}",
             strategy.label(),
@@ -129,8 +210,27 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
             format!("{}", multi.md_global()),
             format!("{}", multi.missed_work()),
         );
+        if opts.stats_out.is_some() {
+            stats_entries.push((strategy.label(), multi.stats().to_json()));
+        }
+    }
+    if let Some(path) = &opts.stats_out {
+        write_stats(path, &keyed_stats(&stats_entries))?;
     }
     Ok(())
+}
+
+/// Renders labelled run-point records as one JSON object (the
+/// `compare`/`sweep` form of `stats.json`).
+fn keyed_stats(entries: &[(String, String)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (label, json)) in entries.iter().enumerate() {
+        let indented = json.replace('\n', "\n  ");
+        out.push_str(&format!("  {label:?}: {indented}"));
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push('}');
+    out
 }
 
 /// Parses a sweep spec `key=LO..HI:STEP` into (key, values).
@@ -163,7 +263,7 @@ fn parse_sweep_spec(text: &str) -> Result<(String, Vec<f64>), String> {
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
-    let (positional, seed, reps) = split_options(args)?;
+    let (positional, opts) = split_options(args)?;
     let Some((&spec_arg, rest)) = positional.split_first() else {
         return Err("usage: sda sweep key=LO..HI:STEP [CONFIG] [key=value ...]".into());
     };
@@ -176,11 +276,12 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         "{:<10} {:>16} {:>16} {:>16}",
         key, "MD_local", "MD_global", "missed work"
     );
+    let mut stats_entries = Vec::new();
     for value in values {
         let mut cfg = base.clone();
         apply_setting(&mut cfg, &key, &format!("{value}")).map_err(|e| e.to_string())?;
         cfg.validate().map_err(|e| e.to_string())?;
-        let multi = replicate(&cfg, &seeds(seed, reps)).map_err(|e| e.to_string())?;
+        let multi = opts.execute(&cfg)?;
         println!(
             "{:<10.3} {:>16} {:>16} {:>16}",
             value,
@@ -188,12 +289,18 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             format!("{}", multi.md_global()),
             format!("{}", multi.missed_work()),
         );
+        if opts.stats_out.is_some() {
+            stats_entries.push((format!("{key}={value}"), multi.stats().to_json()));
+        }
+    }
+    if let Some(path) = &opts.stats_out {
+        write_stats(path, &keyed_stats(&stats_entries))?;
     }
     Ok(())
 }
 
 fn cmd_decompose(args: &[String]) -> Result<(), String> {
-    let (positional, _, _) = split_options(args)?;
+    let (positional, _) = split_options(args)?;
     let mut pex_arg: Option<&String> = None;
     let mut plain = Vec::new();
     let mut iter = positional.into_iter();
@@ -278,15 +385,23 @@ fn print_help(topic: Option<&str>) {
     println!(
         "sda — subtask deadline assignment simulator (Kao & Garcia-Molina, ICDCS 1994)\n\n\
          usage:\n\
-         \x20 sda run [CONFIG] [key=value ...] [--seed N] [--reps N]\n\
-         \x20 sda compare [CONFIG] [key=value ...] STRATEGY... [--seed N] [--reps N]\n\
-         \x20 sda sweep key=LO..HI:STEP [CONFIG] [key=value ...] [--seed N] [--reps N]\n\
+         \x20 sda run [CONFIG] [key=value ...] [OPTIONS]\n\
+         \x20 sda compare [CONFIG] [key=value ...] STRATEGY... [OPTIONS]\n\
+         \x20 sda sweep key=LO..HI:STEP [CONFIG] [key=value ...] [OPTIONS]\n\
          \x20 sda decompose SPEC DEADLINE STRATEGY [--pex P1,P2,...]\n\
          \x20 sda help [config]\n\n\
+         options (run/compare/sweep):\n\
+         \x20 --seed N       base seed of the replication stream (default 42)\n\
+         \x20 --reps N       replications per point (default 2; the floor with --ci-target)\n\
+         \x20 --jobs N       worker threads per point (default 0 = all cores)\n\
+         \x20 --ci-target R  add replications until each MD metric's 95% CI\n\
+         \x20                width ratio is <= R (capped by --max-reps)\n\
+         \x20 --max-reps N   replication cap under --ci-target (default 64)\n\
+         \x20 --stats-out F  write per-metric statistics to F as stats.json\n\n\
          examples:\n\
-         \x20 sda run load=0.7 strategy=UD-DIV1\n\
+         \x20 sda run load=0.7 strategy=UD-DIV1 --jobs 8 --stats-out stats.json\n\
          \x20 sda compare load=0.5 UD-UD UD-DIV1 UD-GF EQF-DIV1\n\
-         \x20 sda sweep load=0.1..0.9:0.2 strategy=UD-GF\n\
+         \x20 sda sweep load=0.1..0.9:0.2 strategy=UD-GF --ci-target 0.1\n\
          \x20 sda decompose \"[a [b || c] d]\" 12 EQF-DIV1 --pex 1,2,2,1"
     );
 }
@@ -302,20 +417,78 @@ mod tests {
     #[test]
     fn split_options_extracts_seed_and_reps() {
         let args = strings(&["load=0.5", "--seed", "7", "UD-UD", "--reps", "3"]);
-        let (positional, seed, reps) = split_options(&args).unwrap();
-        assert_eq!(seed, 7);
-        assert_eq!(reps, 3);
+        let (positional, opts) = split_options(&args).unwrap();
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.reps, 3);
         assert_eq!(positional.len(), 2);
     }
 
     #[test]
     fn split_options_defaults() {
-        let (positional, seed, reps) = split_options(&[]).unwrap();
+        let (positional, opts) = split_options(&[]).unwrap();
         assert!(positional.is_empty());
-        assert_eq!(seed, 42);
-        assert_eq!(reps, 2);
+        assert_eq!(opts.seed, 42);
+        assert_eq!(opts.reps, 2);
+        assert_eq!(opts.jobs, 0);
+        assert_eq!(opts.ci_target, None);
+        assert_eq!(opts.max_reps, 64);
+        assert_eq!(opts.stats_out, None);
         assert!(split_options(&strings(&["--seed"])).is_err());
         assert!(split_options(&strings(&["--reps", "0"])).is_err());
+    }
+
+    #[test]
+    fn split_options_parallel_flags() {
+        let args = strings(&[
+            "--jobs",
+            "4",
+            "--ci-target",
+            "0.1",
+            "--max-reps",
+            "16",
+            "--stats-out",
+            "out.json",
+        ]);
+        let (positional, opts) = split_options(&args).unwrap();
+        assert!(positional.is_empty());
+        assert_eq!(opts.jobs, 4);
+        assert_eq!(opts.ci_target, Some(0.1));
+        assert_eq!(opts.max_reps, 16);
+        assert_eq!(opts.stats_out.as_deref(), Some("out.json"));
+        assert!(split_options(&strings(&["--ci-target", "-1"])).is_err());
+        assert!(split_options(&strings(&["--max-reps", "0"])).is_err());
+        assert!(split_options(&strings(&["--stats-out"])).is_err());
+    }
+
+    #[test]
+    fn keyed_stats_nests_run_points() {
+        let entries = vec![
+            ("UD-UD".to_string(), "{}".to_string()),
+            ("UD-DIV1".to_string(), "{}".to_string()),
+        ];
+        let json = keyed_stats(&entries);
+        assert!(json.contains("\"UD-UD\": {}"));
+        assert!(json.contains("\"UD-DIV1\": {}"));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn run_options_execute_honors_ci_target() {
+        let cfg = SimConfig {
+            duration: 2_000.0,
+            warmup: 100.0,
+            ..SimConfig::baseline()
+        };
+        let opts = RunOptions {
+            seed: 1,
+            reps: 2,
+            jobs: 2,
+            ci_target: Some(100.0),
+            max_reps: 8,
+            stats_out: None,
+        };
+        let multi = opts.execute(&cfg).unwrap();
+        assert_eq!(multi.runs().len(), 2, "loose target stops at the floor");
     }
 
     #[test]

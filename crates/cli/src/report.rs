@@ -96,12 +96,20 @@ pub fn render_report(cfg: &SimConfig, multi: &MultiRun) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sda_sim::{replicate, seeds};
+    use sda_sim::{Runner, StopRule};
+
+    fn two_reps(cfg: &SimConfig, seed: u64) -> sda_sim::MultiRun {
+        Runner::new(cfg.clone())
+            .seed(seed)
+            .stop(StopRule::FixedReps(2))
+            .execute()
+            .unwrap()
+    }
 
     #[test]
     fn report_contains_the_key_sections() {
         let cfg = SimConfig::baseline().with_duration(5_000.0);
-        let multi = replicate(&cfg, &seeds(1, 2)).unwrap();
+        let multi = two_reps(&cfg, 1);
         let report = render_report(&cfg, &multi);
         for needle in [
             "config:",
@@ -126,7 +134,7 @@ mod tests {
             duration: 5_000.0,
             ..SimConfig::baseline()
         };
-        let multi = replicate(&cfg, &seeds(2, 2)).unwrap();
+        let multi = two_reps(&cfg, 2);
         let report = render_report(&cfg, &multi);
         for n in 2..=6 {
             assert!(report.contains(&format!("n={n}")), "missing n={n}");
@@ -141,7 +149,7 @@ mod tests {
             duration: 5_000.0,
             ..SimConfig::baseline()
         };
-        let multi = replicate(&cfg, &seeds(3, 2)).unwrap();
+        let multi = two_reps(&cfg, 3);
         let report = render_report(&cfg, &multi);
         assert!(report.contains("aborted:"));
         // Under PM abortion nothing *completes* late (the timer fires at
@@ -156,7 +164,7 @@ mod tests {
             duration: 5_000.0,
             ..SimConfig::baseline()
         };
-        let multi = replicate(&cfg, &seeds(4, 2)).unwrap();
+        let multi = two_reps(&cfg, 4);
         let report = render_report(&cfg, &multi);
         assert!(report.contains("tardiness"));
         assert!(!report.contains("aborted:"));

@@ -20,7 +20,6 @@ use crate::ssp::SspStrategy;
 /// A combined deadline-assignment strategy: SSP for serial compositions,
 /// PSP for parallel compositions (Table 2's combination space).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SdaStrategy {
     /// Applied at every serial composition.
     pub ssp: SspStrategy,

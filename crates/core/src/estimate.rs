@@ -12,7 +12,6 @@ use sda_simcore::rng::Rng;
 /// How the predicted execution time `pex(X)` is derived from the real
 /// execution time `ex(X)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum EstimationModel {
     /// Perfect prediction: `pex = ex`.
     Exact,

@@ -23,7 +23,6 @@ pub const DEFAULT_GF_DELTA: f64 = 1.0e9;
 /// * **GF** — `dl(Ti) = dl(T) − Δ` for a huge Δ: globals are always served
 ///   before locals, with EDF order preserved within each class.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PspStrategy {
     /// Ultimate deadline: subtasks inherit `dl(T)` unchanged.
     Ud,

@@ -30,7 +30,6 @@ use sda_simcore::SimTime;
 /// all recompute from the actual stage start time, so estimation error in
 /// earlier stages is absorbed rather than compounded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SspStrategy {
     /// Ultimate deadline (no decomposition).
     #[default]

@@ -6,11 +6,10 @@
 use sda_core::{EstimationModel, PspStrategy, SdaStrategy, SspStrategy};
 use sda_model::TaskSpec;
 use sda_sched::Policy;
-use sda_sim::{
-    replicate, seeds, AbortPolicy, GlobalShape, ResubmitPolicy, ServiceShape, SimConfig,
-};
+use sda_sim::{AbortPolicy, GlobalShape, ResubmitPolicy, ServiceShape, SimConfig};
 
 use crate::pct;
+use crate::run::run_point;
 use crate::scale::Scale;
 use crate::table::Table;
 
@@ -57,7 +56,7 @@ pub fn local_abort(scale: Scale) -> Table {
                     ..SimConfig::baseline()
                 })
                 .with_strategy(strategy);
-            let multi = replicate(&cfg, &seeds(2100, scale.replications())).expect("valid");
+            let multi = run_point(&cfg, 2100, scale.replications());
             let resub: u64 = multi.runs().iter().map(|r| r.metrics.resubmissions).sum();
             table.row(&[
                 s_label.to_string(),
@@ -91,7 +90,7 @@ pub fn sched_policies(scale: Scale) -> Table {
                     ..SimConfig::baseline()
                 })
                 .with_strategy(strategy);
-            let multi = replicate(&cfg, &seeds(2200, scale.replications())).expect("valid");
+            let multi = run_point(&cfg, 2200, scale.replications());
             table.row(&[
                 scheduler.to_string(),
                 label.to_string(),
@@ -121,7 +120,7 @@ pub fn ssp_family(scale: Scale) -> Table {
             ssp,
             psp: PspStrategy::Ud,
         });
-        let multi = replicate(&cfg, &seeds(2300, scale.replications())).expect("valid");
+        let multi = run_point(&cfg, 2300, scale.replications());
         table.row(&[
             ssp.label().to_string(),
             pct(multi.md_local()),
@@ -153,7 +152,7 @@ pub fn pex_error(scale: Scale) -> Table {
                 ..SimConfig::section8()
             })
             .with_strategy(SdaStrategy::eqf_div1());
-        let multi = replicate(&cfg, &seeds(2400, scale.replications())).expect("valid");
+        let multi = run_point(&cfg, 2400, scale.replications());
         table.row(&[
             label.to_string(),
             pct(multi.md_local()),
@@ -182,7 +181,7 @@ pub fn gf_delta(scale: Scale) -> Table {
                 ..SimConfig::baseline()
             })
             .with_strategy(strategy);
-        let multi = replicate(&cfg, &seeds(2500, scale.replications())).expect("valid");
+        let multi = run_point(&cfg, 2500, scale.replications());
         table.row(&[
             format!("{delta:.0e}"),
             pct(multi.md_local()),
@@ -222,7 +221,7 @@ pub fn heterogeneous_nodes(scale: Scale) -> Table {
                     ..SimConfig::baseline()
                 })
                 .with_strategy(strategy);
-            let multi = replicate(&cfg, &seeds(2600, scale.replications())).expect("valid");
+            let multi = run_point(&cfg, 2600, scale.replications());
             table.row(&[
                 label.to_string(),
                 s_label.to_string(),
@@ -253,7 +252,7 @@ pub fn preemption(scale: Scale) -> Table {
                     ..SimConfig::baseline()
                 })
                 .with_strategy(strategy);
-            let multi = replicate(&cfg, &seeds(2700, scale.replications())).expect("valid");
+            let multi = run_point(&cfg, 2700, scale.replications());
             let preemptions: u64 = multi.runs().iter().map(|r| r.metrics.preemptions).sum();
             table.row(&[
                 m_label.to_string(),
@@ -284,7 +283,7 @@ pub fn service_shapes(scale: Scale) -> Table {
             service_shape,
             ..SimConfig::baseline()
         });
-        let multi = replicate(&cfg, &seeds(2800, scale.replications())).expect("valid");
+        let multi = run_point(&cfg, 2800, scale.replications());
         let local = multi.md_local().mean;
         let global = multi.md_global().mean;
         table.row(&[
@@ -328,7 +327,7 @@ pub fn placement(scale: Scale) -> Table {
                     ..SimConfig::baseline()
                 })
                 .with_strategy(strategy);
-            let multi = replicate(&cfg, &seeds(2900, scale.replications())).expect("valid");
+            let multi = run_point(&cfg, 2900, scale.replications());
             table.row(&[
                 p_label.to_string(),
                 s_label.to_string(),
@@ -386,7 +385,7 @@ pub fn burstiness(scale: Scale) -> Table {
                     ..SimConfig::baseline()
                 })
                 .with_strategy(strategy);
-            let multi = replicate(&cfg, &seeds(3000, scale.replications())).expect("valid");
+            let multi = run_point(&cfg, 3000, scale.replications());
             table.row(&[
                 b_label.to_string(),
                 s_label.to_string(),

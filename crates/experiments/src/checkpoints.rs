@@ -7,8 +7,9 @@
 
 use sda_core::analysis::global_miss_probability;
 use sda_core::SdaStrategy;
-use sda_sim::{replicate, seeds, AbortPolicy, SimConfig};
+use sda_sim::{AbortPolicy, SimConfig};
 
+use crate::run::run_point;
 use crate::scale::Scale;
 use crate::table::Table;
 
@@ -34,29 +35,31 @@ impl Checkpoint {
 
 /// Runs all §6.1/§7.3 checkpoints at the baseline point (load 0.5).
 pub fn run(scale: Scale) -> (Table, Vec<Checkpoint>) {
-    let reps = seeds(42, scale.replications().max(2));
+    // Common random numbers: the same base seed (hence the same derived
+    // replication seeds) across all four configurations.
+    let reps = scale.replications().max(2);
 
     // §6.1, UD at load 0.5.
-    let ud = replicate(&scale.apply(SimConfig::baseline()), &reps).expect("valid config");
+    let ud = run_point(&scale.apply(SimConfig::baseline()), 42, reps);
     // §6.1, DIV-1 at load 0.5.
-    let div1 = replicate(
+    let div1 = run_point(
         &scale
             .apply(SimConfig::baseline())
             .with_strategy(SdaStrategy::ud_div1()),
-        &reps,
-    )
-    .expect("valid config");
+        42,
+        reps,
+    );
     // §7.3, process-manager abortion at load 0.5.
     let abort_cfg = SimConfig {
         abort: AbortPolicy::ProcessManager,
         ..SimConfig::baseline()
     };
-    let ud_abort = replicate(&scale.apply(abort_cfg.clone()), &reps).expect("valid config");
-    let div1_abort = replicate(
+    let ud_abort = run_point(&scale.apply(abort_cfg.clone()), 42, reps);
+    let div1_abort = run_point(
         &scale.apply(abort_cfg).with_strategy(SdaStrategy::ud_div1()),
-        &reps,
-    )
-    .expect("valid config");
+        42,
+        reps,
+    );
 
     let subtask_p = ud.md_subtask().mean;
     let checkpoints = vec![

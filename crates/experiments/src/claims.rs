@@ -67,7 +67,10 @@ fn fig5_claims(fig: &FigureResult, out: &mut Vec<ClaimResult>) {
         "fig5/independence",
         "measured MD_global tracks 1-(1-p)^4 (§6.1: \"not far from what we obtained\")",
         worst < 0.03,
-        format!("max |measured - predicted| = {:.3} over loads <= 0.7", worst),
+        format!(
+            "max |measured - predicted| = {:.3} over loads <= 0.7",
+            worst
+        ),
     );
     check(
         out,
@@ -213,7 +216,11 @@ fn fig10_claims(fig: &FigureResult, out: &mut Vec<ClaimResult>) {
 
 fn fig11_claims(fig: &FigureResult, no_abort: &FigureResult, out: &mut Vec<ClaimResult>) {
     let g = |f: &FigureResult, i: usize, l: f64| {
-        f.series[i].at_load(l).expect("load in sweep").md_global.mean
+        f.series[i]
+            .at_load(l)
+            .expect("load in sweep")
+            .md_global
+            .mean
     };
     check(
         out,
@@ -233,7 +240,11 @@ fn fig11_claims(fig: &FigureResult, no_abort: &FigureResult, out: &mut Vec<Claim
         "fig11/gf-overlaps-div1",
         "under PM abortion GF performs very similarly to DIV-1 (§7.3)",
         (g(fig, 2, 0.5) - g(fig, 1, 0.5)).abs() < 0.02,
-        format!("DIV-1 {:.3} vs GF {:.3} at load 0.5", g(fig, 1, 0.5), g(fig, 2, 0.5)),
+        format!(
+            "DIV-1 {:.3} vs GF {:.3} at load 0.5",
+            g(fig, 1, 0.5),
+            g(fig, 2, 0.5)
+        ),
     );
 }
 
@@ -258,9 +269,14 @@ fn fig12_claims(fig: &FigureResult, out: &mut Vec<ClaimResult>) {
         "fig12/div1-equalizes",
         "DIV-1 keeps the MD of all task classes at roughly the same level (§7.4)",
         spread(div1) < 0.5 * spread(ud),
-        format!("class spread: UD {:.3}, DIV-1 {:.3}", spread(ud), spread(div1)),
+        format!(
+            "class spread: UD {:.3}, DIV-1 {:.3}",
+            spread(ud),
+            spread(div1)
+        ),
     );
-    let gf_better = (1..=5).all(|i| gf.points[i].md_global.mean <= div1.points[i].md_global.mean + 0.01);
+    let gf_better =
+        (1..=5).all(|i| gf.points[i].md_global.mean <= div1.points[i].md_global.mean + 0.01);
     check(
         out,
         "fig12/gf-reduces-further",
@@ -274,12 +290,21 @@ fn fig12_claims(fig: &FigureResult, out: &mut Vec<ClaimResult>) {
 }
 
 fn fig15_claims(fig: &FigureResult, out: &mut Vec<ClaimResult>) {
-    let g = |i: usize, l: f64| fig.series[i].at_load(l).expect("load in sweep").md_global.mean;
+    let g = |i: usize, l: f64| {
+        fig.series[i]
+            .at_load(l)
+            .expect("load in sweep")
+            .md_global
+            .mean
+    };
     check(
         out,
         "fig15/additive",
         "EQF and DIV-1 complement each other; together they dominate (§8)",
-        g(1, 0.6) < g(0, 0.6) && g(2, 0.6) < g(0, 0.6) && g(3, 0.6) < g(1, 0.6) && g(3, 0.6) < g(2, 0.6),
+        g(1, 0.6) < g(0, 0.6)
+            && g(2, 0.6) < g(0, 0.6)
+            && g(3, 0.6) < g(1, 0.6)
+            && g(3, 0.6) < g(2, 0.6),
         format!(
             "at load 0.6: UD-UD {:.3}, UD-DIV1 {:.3}, EQF-UD {:.3}, EQF-DIV1 {:.3}",
             g(0, 0.6),

@@ -10,10 +10,11 @@
 
 use sda_core::{PspStrategy, SdaStrategy, SspStrategy};
 use sda_model::TaskSpec;
-use sda_sim::{replicate, seeds, GlobalShape, SimConfig};
+use sda_sim::{GlobalShape, SimConfig};
 use sda_simcore::dist::Uniform;
 
 use crate::pct;
+use crate::run::run_point;
 use crate::scale::Scale;
 use crate::table::Table;
 
@@ -49,16 +50,12 @@ pub fn stage_sweep(scale: Scale) -> (Table, Vec<f64>) {
     let mut gains = Vec::new();
     for &stages in &E1_STAGES {
         let base = pipeline_config(stages, 1.0);
-        let ud = replicate(
-            &scale.apply(base.clone()),
-            &seeds(3100, scale.replications()),
-        )
-        .expect("valid");
-        let eqf_run = replicate(
+        let ud = run_point(&scale.apply(base.clone()), 3100, scale.replications());
+        let eqf_run = run_point(
             &scale.apply(base).with_strategy(eqf()),
-            &seeds(3100, scale.replications()),
-        )
-        .expect("valid");
+            3100,
+            scale.replications(),
+        );
         let gain = ud.md_global().mean - eqf_run.md_global().mean;
         gains.push(gain);
         table.row(&[
@@ -94,16 +91,12 @@ pub fn slack_sweep(scale: Scale) -> (Table, Vec<(f64, f64)>) {
             load: 0.6,
             ..pipeline_config(5, tightness)
         };
-        let ud = replicate(
-            &scale.apply(base.clone()),
-            &seeds(3200, scale.replications()),
-        )
-        .expect("valid");
-        let eqf_run = replicate(
+        let ud = run_point(&scale.apply(base.clone()), 3200, scale.replications());
+        let eqf_run = run_point(
             &scale.apply(base).with_strategy(eqf()),
-            &seeds(3200, scale.replications()),
-        )
-        .expect("valid");
+            3200,
+            scale.replications(),
+        );
         let md_ud = ud.md_global().mean;
         let gain = md_ud - eqf_run.md_global().mean;
         points.push((md_ud, gain));

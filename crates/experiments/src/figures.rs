@@ -6,9 +6,10 @@
 
 use sda_core::analysis::global_miss_probability;
 use sda_core::{PspStrategy, SdaStrategy, SspStrategy};
-use sda_sim::{replicate, seeds, AbortPolicy, GlobalShape, SimConfig};
+use sda_sim::{AbortPolicy, GlobalShape, SimConfig};
 use sda_simcore::stats::Estimate;
 
+use crate::run::run_point;
 use crate::scale::Scale;
 use crate::table::Table;
 use crate::{pct, LOAD_SWEEP};
@@ -100,8 +101,7 @@ fn sweep(
                         .apply(base.clone())
                         .with_load(load)
                         .with_strategy(*strategy);
-                    let multi = replicate(&cfg, &seeds(seed_base, scale.replications()))
-                        .expect("figure config must be valid");
+                    let multi = run_point(&cfg, seed_base, scale.replications());
                     LoadPoint {
                         load,
                         md_local: multi.md_local(),
@@ -246,7 +246,7 @@ pub fn fig9(scale: Scale) -> FigureResult {
                 psp: PspStrategy::div(x),
             };
             let cfg = scale.apply(base.clone()).with_strategy(strategy);
-            let multi = replicate(&cfg, &seeds(900, scale.replications())).expect("valid config");
+            let multi = run_point(&cfg, 900, scale.replications());
             points.push(LoadPoint {
                 load: x, // x value, not load: the sweep variable
                 md_local: multi.md_local(),
@@ -320,7 +320,7 @@ pub fn fig10(scale: Scale) -> FigureResult {
                 },
             )
             .with_strategy(*strategy);
-            let multi = replicate(&cfg, &seeds(1000, scale.replications())).expect("valid config");
+            let multi = run_point(&cfg, 1000, scale.replications());
             series[i].points.push(LoadPoint {
                 load: frac, // the sweep variable
                 md_local: multi.md_local(),
@@ -408,7 +408,7 @@ pub fn fig12(scale: Scale) -> FigureResult {
     let mut series = Vec::new();
     for (label, strategy) in strategies {
         let cfg = scale.apply(base.clone()).with_strategy(strategy);
-        let multi = replicate(&cfg, &seeds(1200, scale.replications())).expect("valid config");
+        let multi = run_point(&cfg, 1200, scale.replications());
         let mut points = vec![LoadPoint {
             load: 0.0, // class: local
             md_local: multi.md_local(),

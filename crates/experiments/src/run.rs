@@ -1,0 +1,61 @@
+//! Shared replication driver for every experiment sweep.
+//!
+//! All tables, figures, ablations and checkpoints funnel through
+//! [`run_point`], so one place decides how a data point is executed:
+//! the [`Runner`](sda_sim::Runner) with the SplitMix64-derived seed
+//! stream and the parallelism picked by [`jobs`]. Sweeps that compare
+//! configurations reuse the same base seed across configurations
+//! (common random numbers), which the derived stream preserves — the
+//! seed of replication `i` depends only on `(base, i)`.
+
+use sda_sim::{MultiRun, Runner, SimConfig, StopRule};
+
+/// Worker threads per data point: the `SDA_JOBS` environment variable,
+/// or `0` (automatic — the machine's available parallelism).
+///
+/// Sweeps run their points sequentially and parallelize *within* each
+/// point, which keeps output ordering deterministic while still using
+/// every core.
+pub fn jobs() -> usize {
+    std::env::var("SDA_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Runs one experiment data point: `reps` independent replications of
+/// `cfg` from `base_seed`, on parallel worker threads.
+///
+/// # Panics
+///
+/// Panics if the configuration fails validation — experiment
+/// configurations are constructed by the harness and must be valid.
+pub fn run_point(cfg: &SimConfig, base_seed: u64, reps: usize) -> MultiRun {
+    Runner::new(cfg.clone())
+        .seed(base_seed)
+        .jobs(jobs())
+        .stop(StopRule::FixedReps(reps))
+        .execute()
+        .expect("experiment configuration validates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_point_uses_the_derived_seed_stream() {
+        let cfg = SimConfig {
+            duration: 2_000.0,
+            warmup: 100.0,
+            ..SimConfig::baseline()
+        };
+        let multi = run_point(&cfg, 42, 2);
+        assert_eq!(multi.runs().len(), 2);
+        assert_eq!(
+            multi.runs()[0].seed,
+            sda_simcore::rng::derive_seed(42, 0),
+            "common-random-numbers contract: seeds depend only on (base, i)"
+        );
+    }
+}

@@ -27,7 +27,6 @@ use sda_simcore::SimTime;
 /// assert_eq!(a.slack(), 2.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Attrs {
     /// Arrival (submission) time.
     pub ar: SimTime,

@@ -7,7 +7,6 @@ use std::fmt;
 /// Nodes are numbered `0..k`. Per the paper's model, each node is *unique*:
 /// a subtask destined for a node must run there (no load balancing).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub usize);
 
 impl NodeId {
@@ -27,7 +26,6 @@ impl fmt::Display for NodeId {
 /// Uniquely identifies a task instance (local task or global task) within
 /// one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskId(pub u64);
 
 impl TaskId {
@@ -50,7 +48,6 @@ impl fmt::Display for TaskId {
 /// additionally breaks globals down by their number of subtasks
 /// ("six classes of tasks: locals + 5 classes of globals").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TaskClass {
     /// A local task (generated at, and executed on, a single node).
     Local,

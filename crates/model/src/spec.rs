@@ -29,7 +29,6 @@ use std::fmt;
 /// assert_eq!(spec.to_string(), "[[T1 || T2 || T3 || T4 || T5] T6]");
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TaskSpec {
     /// A simple subtask (GT1): one unit of work at one node.
     Simple,

@@ -1,0 +1,717 @@
+//! # proptest (offline shim)
+//!
+//! A self-contained stand-in for the [`proptest`](https://docs.rs/proptest)
+//! crate, implementing exactly the API subset this workspace's property
+//! tests use. The build environment has no access to crates.io, so the
+//! real dependency cannot be resolved; rather than deleting several
+//! hundred lines of valuable property tests, this crate keeps them
+//! compiling and running.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its case number and seed;
+//!   inputs are regenerated deterministically from that seed.
+//! * **Deterministic.** Cases derive from a fixed splitmix64 stream, so a
+//!   failure reproduces exactly on re-run (no `proptest-regressions`
+//!   files are consulted or written).
+//! * **Tiny regex subset.** String strategies support the patterns the
+//!   tests use: a single `.` or `[class]` atom with a `{lo,hi}` repeat.
+//!
+//! Supported surface: `proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_oneof!`, `Strategy` (`prop_map`, `prop_recursive`, `boxed`),
+//! `Just`, `any`, range strategies, tuple strategies, `collection::vec`,
+//! `option::of`, `ProptestConfig::with_cases`.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// Deterministic generator
+// ---------------------------------------------------------------------
+
+/// A splitmix64 generator: small, fast, and plenty for test-input
+/// generation (the simulator's own RNG lives in `sda-simcore`).
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn with_seed(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        // Multiply-shift; the tiny modulo bias is irrelevant for tests.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors and configuration
+// ---------------------------------------------------------------------
+
+/// A failed property assertion (returned by `prop_assert!` and friends).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The Strategy trait and combinators
+// ---------------------------------------------------------------------
+
+/// A generator of test values.
+///
+/// Object-safe core (`generate`) plus `Sized` combinators, mirroring the
+/// real crate's names.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates recursive structures: `expand` receives a strategy for
+    /// the inner level and returns the composite level. `depth` bounds
+    /// the recursion; the size hints are accepted for source
+    /// compatibility and ignored.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        expand: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let expand = Rc::new(move |inner: BoxedStrategy<Self::Value>| expand(inner).boxed());
+        Recursive {
+            base: self.boxed(),
+            expand,
+            depth,
+        }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut Rng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    expand: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T> fmt::Debug for Recursive<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recursive")
+            .field("depth", &self.depth)
+            .finish()
+    }
+}
+
+impl<T: 'static> Recursive<T> {
+    fn level(&self, depth: u32) -> BoxedStrategy<T> {
+        if depth == 0 {
+            self.base.clone()
+        } else {
+            let deeper = (self.expand)(self.level(depth - 1));
+            // Mix leaves back in so generated structures vary in depth
+            // rather than always bottoming out at `depth`.
+            Union {
+                choices: vec![self.base.clone(), deeper.clone(), deeper],
+            }
+            .boxed()
+        }
+    }
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        self.level(self.depth).generate(rng)
+    }
+}
+
+/// A uniform choice between alternatives (built by `prop_oneof!`).
+#[derive(Debug, Clone)]
+pub struct Union<T> {
+    choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over the given alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is empty.
+    pub fn new(choices: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+        Union { choices }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        let idx = rng.below(self.choices.len() as u64) as usize;
+        self.choices[idx].generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive strategies: ranges, any::<T>(), string patterns
+// ---------------------------------------------------------------------
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        // next_f64 is in [0, 1); stretch fractionally past hi and clamp
+        // so the endpoint is reachable.
+        (lo + rng.next_f64() * (hi - lo) * (1.0 + 1e-9)).min(hi)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64 + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Strategy for "anything of type `T`" — see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+/// Generates arbitrary values of a primitive type.
+pub fn any<T: ArbitraryValue>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Types `any::<T>()` can generate.
+pub trait ArbitraryValue {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut Rng) -> Self;
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for u64 {
+    fn arbitrary(rng: &mut Rng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl ArbitraryValue for u32 {
+    fn arbitrary(rng: &mut Rng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl<T: ArbitraryValue> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// String patterns: a single `.` or `[class]` atom with an optional
+/// `{lo,hi}` repetition, the subset this workspace's tests use.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut Rng) -> String {
+        let (alphabet, lo, hi) = parse_pattern(self);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `ATOM{lo,hi}` where ATOM is `.` or a `[...]` class with `\`
+/// escapes and `a-z` ranges. Returns the alphabet and repeat bounds.
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut alphabet: Vec<char> = Vec::new();
+    let mut i;
+    match chars.first() {
+        Some('.') => {
+            // Printable ASCII: enough to exercise tokenizers.
+            alphabet.extend((32u8..127).map(char::from));
+            i = 1;
+        }
+        Some('[') => {
+            i = 1;
+            while i < chars.len() && chars[i] != ']' {
+                let c = if chars[i] == '\\' {
+                    i += 1;
+                    chars[i]
+                } else {
+                    chars[i]
+                };
+                // Range like 0-9 (a `-` must sit between two members).
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let end = chars[i + 2];
+                    alphabet.extend((c..=end).filter(|ch| *ch <= end));
+                    i += 3;
+                } else {
+                    alphabet.push(c);
+                    i += 1;
+                }
+            }
+            assert!(
+                i < chars.len(),
+                "unterminated character class in {pattern:?}"
+            );
+            i += 1; // skip ']'
+        }
+        _ => {
+            panic!("unsupported pattern {pattern:?} (shim supports `.` or `[class]` + `{{lo,hi}}`)")
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+    let rest: String = chars[i..].iter().collect();
+    if rest.is_empty() {
+        return (alphabet, 1, 1);
+    }
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported quantifier {rest:?} in {pattern:?}"));
+    let (lo, hi) = inner
+        .split_once(',')
+        .unwrap_or_else(|| panic!("quantifier must be {{lo,hi}} in {pattern:?}"));
+    let lo: usize = lo.parse().expect("bad lower bound");
+    let hi: usize = hi.parse().expect("bad upper bound");
+    assert!(lo <= hi, "descending quantifier in {pattern:?}");
+    (alphabet, lo, hi)
+}
+
+// Tuples of strategies generate tuples of values.
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+// ---------------------------------------------------------------------
+// collection / option modules
+// ---------------------------------------------------------------------
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Rng, Strategy};
+    use std::ops::Range;
+
+    /// Generates `Vec`s of values from `element`, with a length drawn
+    /// uniformly from `size` (half-open, like the real crate's
+    /// `Range<usize>` form).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::{Rng, Strategy};
+
+    /// Generates `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Asserts a condition inside a `proptest!` test, failing the case (not
+/// panicking directly) so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// A uniform choice among several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` runs
+/// its body over `cases` generated inputs (default 32, configurable with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = (<$crate::ProptestConfig as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    // A per-case seed stream salted by the test name, so
+                    // sibling tests see different inputs.
+                    let salt = stringify!($name)
+                        .bytes()
+                        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+                        });
+                    let mut rng =
+                        $crate::Rng::with_seed(salt ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!("proptest {} failed at case {case}: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+// ---------------------------------------------------------------------
+// Prelude
+// ---------------------------------------------------------------------
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::Rng::with_seed(1);
+        for _ in 0..1000 {
+            let x = Strategy::generate(&(1.5f64..9.0), &mut rng);
+            assert!((1.5..9.0).contains(&x));
+            let n = Strategy::generate(&(3usize..7), &mut rng);
+            assert!((3..7).contains(&n));
+            let m = Strategy::generate(&(2u64..=4), &mut rng);
+            assert!((2..=4).contains(&m));
+        }
+    }
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut rng = crate::Rng::with_seed(7);
+        for _ in 0..500 {
+            let s = Strategy::generate(&"[ab0-2 ]{0,5}", &mut rng);
+            assert!(s.len() <= 5);
+            assert!(s.chars().all(|c| "ab012 ".contains(c)), "{s:?}");
+        }
+        let dot = Strategy::generate(&".{10,10}", &mut rng);
+        assert_eq!(dot.len(), 10);
+    }
+
+    #[test]
+    fn vec_and_option_and_oneof_compose() {
+        let mut rng = crate::Rng::with_seed(3);
+        let strat = prop::collection::vec(prop_oneof![Just(1u64), Just(2u64)], 2..6);
+        let mut saw_none = false;
+        let opt = prop::option::of(0u64..5);
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x == 1 || x == 2));
+            saw_none |= Strategy::generate(&opt, &mut rng).is_none();
+        }
+        assert!(saw_none, "option::of should sometimes generate None");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate_and_vary() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(Tree::Leaf).prop_recursive(4, 32, 4, |inner| {
+            prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
+        });
+        let mut rng = crate::Rng::with_seed(11);
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            let t = Strategy::generate(&strat, &mut rng);
+            max_depth = max_depth.max(depth(&t));
+        }
+        assert!(max_depth > 1, "recursion should sometimes expand");
+        assert!(max_depth <= 6, "depth bound holds (got {max_depth})");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_runs(x in 0.0f64..1.0, flag in any::<bool>()) {
+            prop_assert!((0.0..1.0).contains(&x));
+            if flag {
+                return Ok(());
+            }
+            prop_assert_eq!(x, x);
+        }
+    }
+}

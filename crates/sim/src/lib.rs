@@ -10,14 +10,17 @@
 //!
 //! ```
 //! use sda_core::SdaStrategy;
-//! use sda_sim::{runner, SimConfig};
+//! use sda_sim::{Runner, SimConfig, StopRule};
 //!
 //! // A quick look at the paper's headline effect: DIV-1 halves MD_global
-//! // at the Table 1 baseline.
+//! // at the Table 1 baseline. Replications run on parallel threads.
 //! let cfg = SimConfig::baseline().with_duration(20_000.0);
-//! let ud = runner::run(&cfg, 1)?;
-//! let div1 = runner::run(&cfg.with_strategy(SdaStrategy::ud_div1()), 1)?;
-//! assert!(div1.metrics.md_global() < ud.metrics.md_global());
+//! let ud = Runner::new(cfg.clone()).seed(1).stop(StopRule::FixedReps(2)).execute()?;
+//! let div1 = Runner::new(cfg.with_strategy(SdaStrategy::ud_div1()))
+//!     .seed(1)
+//!     .stop(StopRule::FixedReps(2))
+//!     .execute()?;
+//! assert!(div1.md_global().mean < ud.md_global().mean);
 //! # Ok::<(), sda_sim::ConfigError>(())
 //! ```
 
@@ -34,5 +37,7 @@ pub use config::{
     SimConfig,
 };
 pub use metrics::Metrics;
-pub use runner::{replicate, run, run_batch_means, seeds, BatchMeansResult, MultiRun, RunResult};
+#[allow(deprecated)]
+pub use runner::{replicate, run, run_batch_means, BatchMeansResult};
+pub use runner::{seeds, BatchEstimates, MultiRun, RunResult, Runner, StatsReport, StopRule};
 pub use sim::{Ev, Simulation, TraceEvent, TraceFn};

@@ -1,12 +1,40 @@
-//! Running simulations: single runs, independent replications with
-//! confidence intervals, and parameter sweeps.
+//! Running simulations: the [`Runner`] builder executes independent
+//! replications on parallel worker threads, with fixed-count, adaptive
+//! (CI-width) or batch-means stopping, and renders per-metric statistics
+//! as a machine-readable `stats.json` record.
 //!
-//! The paper's methodology (§5): each data point is the average of two
-//! independent one-million-time-unit runs, reported with a 95% confidence
-//! interval. [`replicate`] reproduces that: one run per seed, combined per
-//! metric with a Student-t interval.
+//! The paper's methodology (§5): each data point is the average of
+//! independent one-million-time-unit runs, reported with a 95%
+//! confidence interval. [`Runner`] reproduces that — one simulation per
+//! derived seed, combined per metric with a Student-t interval — and
+//! generalizes it with adaptive stopping: keep adding replications until
+//! every tracked metric's CI width ratio falls below a target.
+//!
+//! # Determinism
+//!
+//! Replication `i` of base seed `b` always runs with seed
+//! [`derive_seed`]`(b, i)`, and the adaptive-stopping schedule depends
+//! only on the accumulated results, never on thread timing — so the
+//! output of [`Runner::execute`] is **bit-identical** for `jobs = 1` and
+//! `jobs = N`. Parallelism changes only the wall-clock time.
+//!
+//! ```
+//! use sda_sim::{Runner, SimConfig, StopRule};
+//! let cfg = SimConfig { duration: 2_000.0, warmup: 100.0, ..SimConfig::baseline() };
+//! let multi = Runner::new(cfg)
+//!     .seed(42)
+//!     .jobs(2)
+//!     .stop(StopRule::FixedReps(2))
+//!     .execute()
+//!     .unwrap();
+//! assert_eq!(multi.runs().len(), 2);
+//! println!("{}", multi.stats().to_json());
+//! ```
 
-use sda_simcore::stats::{Estimate, Replications};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use sda_simcore::rng::{derive_seed, derive_seeds};
+use sda_simcore::stats::{Estimate, Replications, Summary};
 use sda_simcore::{Engine, SimTime};
 
 use crate::config::{ConfigError, SimConfig};
@@ -40,12 +68,242 @@ impl RunResult {
     }
 }
 
-/// Runs one simulation to its configured duration.
+/// When a [`Runner`] stops adding replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopRule {
+    /// Run exactly this many replications (the paper used 2 per point).
+    FixedReps(usize),
+    /// Add replications until the 95% CI width ratio of every tracked
+    /// metric (`MD_local` and `MD_global`) falls at or below this
+    /// target, within the runner's `min_reps..=max_reps` bounds.
+    ///
+    /// The width ratio is `(hi − lo) / |mean|`, falling back to the
+    /// absolute width for means at zero — see
+    /// [`Estimate::width_ratio`](sda_simcore::stats::Estimate::width_ratio).
+    CiWidth(f64),
+    /// One long run; confidence intervals by the method of batch means
+    /// over contiguous batches of per-task miss indicators.
+    BatchMeans {
+        /// Tasks per batch (choose much larger than the queueing
+        /// correlation length; thousands at moderate load).
+        batch_size: u64,
+    },
+}
+
+/// Default replication floor for adaptive stopping (a CI needs ≥ 2).
+const DEFAULT_MIN_REPS: usize = 2;
+/// Default hard cap on adaptive replications.
+const DEFAULT_MAX_REPS: usize = 64;
+
+/// Builds and executes a set of simulation replications.
 ///
-/// # Errors
-///
-/// Returns the configuration's validation error, if any.
-pub fn run(cfg: &SimConfig, seed: u64) -> Result<RunResult, ConfigError> {
+/// The single entry point for running this simulator: every replication
+/// count, parallelism level and stopping rule goes through here. See
+/// the [module docs](self) for the determinism guarantee.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    cfg: SimConfig,
+    seed: u64,
+    explicit_seeds: Option<Vec<u64>>,
+    jobs: usize,
+    stop: StopRule,
+    min_reps: usize,
+    max_reps: usize,
+}
+
+impl Runner {
+    /// Starts building a run of `cfg` with the defaults: base seed 0,
+    /// automatic parallelism, and the paper's two fixed replications.
+    pub fn new(cfg: SimConfig) -> Runner {
+        Runner {
+            cfg,
+            seed: 0,
+            explicit_seeds: None,
+            jobs: 0,
+            stop: StopRule::FixedReps(2),
+            min_reps: DEFAULT_MIN_REPS,
+            max_reps: DEFAULT_MAX_REPS,
+        }
+    }
+
+    /// Sets the base seed; replication `i` runs with
+    /// [`derive_seed`]`(base, i)`.
+    pub fn seed(mut self, base: u64) -> Runner {
+        self.seed = base;
+        self
+    }
+
+    /// Supplies explicit per-replication seeds instead of the derived
+    /// stream (common-random-numbers workflows; the deprecated
+    /// [`replicate`] shim). Caps the replication count at
+    /// `seeds.len()`.
+    pub fn with_seeds(mut self, seeds: Vec<u64>) -> Runner {
+        self.explicit_seeds = Some(seeds);
+        self
+    }
+
+    /// Sets the number of worker threads; `0` (the default) uses the
+    /// machine's available parallelism. Affects wall-clock time only,
+    /// never results.
+    pub fn jobs(mut self, jobs: usize) -> Runner {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the stopping rule.
+    pub fn stop(mut self, rule: StopRule) -> Runner {
+        self.stop = rule;
+        self
+    }
+
+    /// Sets the replication floor for [`StopRule::CiWidth`]
+    /// (default 2; clamped up to 2, since a CI needs two samples).
+    pub fn min_reps(mut self, n: usize) -> Runner {
+        self.min_reps = n.max(2);
+        self
+    }
+
+    /// Sets the hard replication cap for [`StopRule::CiWidth`]
+    /// (default 64).
+    pub fn max_reps(mut self, n: usize) -> Runner {
+        self.max_reps = n.max(1);
+        self
+    }
+
+    /// The seed of replication `index` under this runner's seed source.
+    fn seed_of(&self, index: usize) -> u64 {
+        match &self.explicit_seeds {
+            Some(list) => list[index],
+            None => derive_seed(self.seed, index as u64),
+        }
+    }
+
+    /// The largest replication count this runner may reach.
+    fn seed_budget(&self, want: usize) -> usize {
+        match &self.explicit_seeds {
+            Some(list) => want.min(list.len()),
+            None => want,
+        }
+    }
+
+    /// Worker-thread count to use.
+    fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Executes the configured replications and combines them.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error before starting any
+    /// run; runs themselves cannot fail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rule asks for zero replications (explicit empty
+    /// seed list, `FixedReps(0)`), if `BatchMeans.batch_size == 0`, or
+    /// if a worker thread panics.
+    pub fn execute(&self) -> Result<MultiRun, ConfigError> {
+        self.cfg.validate()?;
+        match self.stop {
+            StopRule::FixedReps(count) => {
+                let count = self.seed_budget(count);
+                assert!(count > 0, "need at least one replication");
+                let runs = self.run_indices(0, count);
+                Ok(MultiRun { runs, batch: None })
+            }
+            StopRule::CiWidth(target) => {
+                assert!(target > 0.0, "CI width target must be positive");
+                let floor = self.seed_budget(self.min_reps.max(2));
+                let cap = self.seed_budget(self.max_reps).max(floor);
+                assert!(floor > 0, "need at least one replication");
+                let mut runs = self.run_indices(0, floor);
+                // Round sizes depend only on the current count, never on
+                // `jobs` or timing, so the replication schedule — and
+                // therefore the result — is identical at any parallelism.
+                while !ci_converged(&runs, target) && runs.len() < cap {
+                    let add = (runs.len() / 2).max(2).min(cap - runs.len());
+                    let more = self.run_indices(runs.len(), add);
+                    runs.extend(more);
+                }
+                Ok(MultiRun { runs, batch: None })
+            }
+            StopRule::BatchMeans { batch_size } => {
+                let seed = self.seed_of(0);
+                let (run, batch) = run_batch_means_impl(&self.cfg, seed, batch_size)?;
+                Ok(MultiRun {
+                    runs: vec![run],
+                    batch: Some(batch),
+                })
+            }
+        }
+    }
+
+    /// Runs replications `first..first + count` across the worker pool,
+    /// returned in replication order.
+    fn run_indices(&self, first: usize, count: usize) -> Vec<RunResult> {
+        let jobs = self.effective_jobs().min(count).max(1);
+        if jobs == 1 {
+            return (first..first + count)
+                .map(|i| {
+                    run_single(&self.cfg, self.seed_of(i)).expect("config validated in execute")
+                })
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, RunResult)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    let next = &next;
+                    let runner = &*self;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let offset = next.fetch_add(1, Ordering::Relaxed);
+                            if offset >= count {
+                                return out;
+                            }
+                            let index = first + offset;
+                            let result = run_single(&runner.cfg, runner.seed_of(index))
+                                .expect("config validated in execute");
+                            out.push((index, result));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("simulation worker panicked"))
+                .collect()
+        });
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// The metrics whose CI width drives [`StopRule::CiWidth`].
+fn ci_converged(runs: &[RunResult], target: f64) -> bool {
+    if runs.len() < 2 {
+        return false;
+    }
+    [Metrics::md_local as fn(&Metrics) -> f64, Metrics::md_global]
+        .iter()
+        .all(|metric| {
+            let summary =
+                Summary::from_values(&runs.iter().map(|r| metric(&r.metrics)).collect::<Vec<_>>());
+            summary.converged(target)
+        })
+}
+
+/// Runs one simulation to its configured duration (internal,
+/// non-deprecated body shared by [`Runner`] and the [`run`] shim).
+fn run_single(cfg: &SimConfig, seed: u64) -> Result<RunResult, ConfigError> {
     let mut sim = Simulation::new(cfg.clone(), seed)?;
     let mut engine = Engine::new();
     sim.prime(&mut engine);
@@ -64,75 +322,24 @@ pub fn run(cfg: &SimConfig, seed: u64) -> Result<RunResult, ConfigError> {
     })
 }
 
-/// Independent replications of one configuration, one per seed, run on
-/// parallel threads.
-///
-/// # Errors
-///
-/// Returns a validation error before starting any run; runs themselves
-/// cannot fail.
-///
-/// # Panics
-///
-/// Panics if `seeds` is empty or a worker thread panics.
-pub fn replicate(cfg: &SimConfig, seeds: &[u64]) -> Result<MultiRun, ConfigError> {
-    assert!(!seeds.is_empty(), "need at least one seed");
-    cfg.validate()?;
-    let runs = std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| {
-                let cfg = cfg.clone();
-                scope.spawn(move || run(&cfg, seed).expect("config validated above"))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("simulation worker panicked"))
-            .collect::<Vec<_>>()
-    });
-    Ok(MultiRun { runs })
-}
-
-/// The default seed set for an experiment data point: `count` seeds
-/// derived from a base seed (the paper used 2 runs per point).
-pub fn seeds(base: u64, count: usize) -> Vec<u64> {
-    (0..count as u64)
-        .map(|i| base.wrapping_add(i * 7919))
-        .collect()
-}
-
-/// Single-run confidence intervals by the method of batch means.
+/// Batch-means estimates attached to a single-run [`MultiRun`].
 #[derive(Debug, Clone)]
-pub struct BatchMeansResult {
-    /// The underlying run.
-    pub run: RunResult,
+pub struct BatchEstimates {
     /// `MD_local` with a 95% CI from batches of local-task outcomes.
-    pub md_local: sda_simcore::stats::Estimate,
+    pub md_local: Estimate,
     /// `MD_global` with a 95% CI from batches of global-task outcomes.
-    pub md_global: sda_simcore::stats::Estimate,
+    pub md_global: Estimate,
     /// Completed batches backing each interval (locals, globals).
     pub batches: (usize, usize),
 }
 
-/// Runs one simulation and derives 95% confidence intervals from a
-/// *single* run by the method of batch means: the per-task miss
-/// indicators (in completion order) are cut into contiguous batches of
-/// `batch_size`, whose means are treated as approximately independent.
-///
-/// This is the classic alternative to [`replicate`]'s independent
-/// replications: one warm-up instead of many, at the price of residual
-/// batch correlation (choose `batch_size` much larger than the queueing
-/// correlation length; thousands of tasks at moderate load).
-///
-/// # Errors
-///
-/// Returns the configuration's validation error, if any.
-pub fn run_batch_means(
+/// Body of the batch-means mode: one run with a trace hook cutting
+/// post-warm-up miss indicators into contiguous batches.
+fn run_batch_means_impl(
     cfg: &SimConfig,
     seed: u64,
     batch_size: u64,
-) -> Result<BatchMeansResult, ConfigError> {
+) -> Result<(RunResult, BatchEstimates), ConfigError> {
     use sda_simcore::stats::BatchMeans;
     use std::sync::{Arc, Mutex};
 
@@ -176,11 +383,94 @@ pub fn run_batch_means(
         .expect("trace closure dropped with the simulation")
         .into_inner()
         .expect("sink lock");
-    Ok(BatchMeansResult {
+    let batch = BatchEstimates {
         md_local: acc.0.estimate(),
         md_global: acc.1.estimate(),
         batches: (acc.0.completed_batches(), acc.1.completed_batches()),
+    };
+    Ok((run, batch))
+}
+
+/// Runs one simulation to its configured duration.
+///
+/// # Errors
+///
+/// Returns the configuration's validation error, if any.
+#[deprecated(note = "use Runner")]
+pub fn run(cfg: &SimConfig, seed: u64) -> Result<RunResult, ConfigError> {
+    let multi = Runner::new(cfg.clone())
+        .with_seeds(vec![seed])
+        .jobs(1)
+        .stop(StopRule::FixedReps(1))
+        .execute()?;
+    Ok(multi.runs.into_iter().next().expect("one replication"))
+}
+
+/// Independent replications of one configuration, one per seed, run on
+/// parallel threads.
+///
+/// # Errors
+///
+/// Returns a validation error before starting any run; runs themselves
+/// cannot fail.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or a worker thread panics.
+#[deprecated(note = "use Runner")]
+pub fn replicate(cfg: &SimConfig, seeds: &[u64]) -> Result<MultiRun, ConfigError> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    Runner::new(cfg.clone())
+        .with_seeds(seeds.to_vec())
+        .stop(StopRule::FixedReps(seeds.len()))
+        .execute()
+}
+
+/// The default seed set for an experiment data point: `count` seeds
+/// derived from a base seed via the SplitMix64 stream (the paper used
+/// 2 runs per point).
+///
+/// Equivalent to [`derive_seeds`]; stable across releases.
+pub fn seeds(base: u64, count: usize) -> Vec<u64> {
+    derive_seeds(base, count)
+}
+
+/// Single-run confidence intervals by the method of batch means.
+#[derive(Debug, Clone)]
+pub struct BatchMeansResult {
+    /// The underlying run.
+    pub run: RunResult,
+    /// `MD_local` with a 95% CI from batches of local-task outcomes.
+    pub md_local: Estimate,
+    /// `MD_global` with a 95% CI from batches of global-task outcomes.
+    pub md_global: Estimate,
+    /// Completed batches backing each interval (locals, globals).
+    pub batches: (usize, usize),
+}
+
+/// Runs one simulation and derives 95% confidence intervals from a
+/// *single* run by the method of batch means.
+///
+/// # Errors
+///
+/// Returns the configuration's validation error, if any.
+#[deprecated(note = "use Runner")]
+pub fn run_batch_means(
+    cfg: &SimConfig,
+    seed: u64,
+    batch_size: u64,
+) -> Result<BatchMeansResult, ConfigError> {
+    let multi = Runner::new(cfg.clone())
+        .with_seeds(vec![seed])
+        .stop(StopRule::BatchMeans { batch_size })
+        .execute()?;
+    let batch = multi.batch.expect("batch-means mode records estimates");
+    let run = multi.runs.into_iter().next().expect("one replication");
+    Ok(BatchMeansResult {
         run,
+        md_local: batch.md_local,
+        md_global: batch.md_global,
+        batches: batch.batches,
     })
 }
 
@@ -189,12 +479,19 @@ pub fn run_batch_means(
 #[derive(Debug, Clone)]
 pub struct MultiRun {
     runs: Vec<RunResult>,
+    batch: Option<BatchEstimates>,
 }
 
 impl MultiRun {
     /// The individual runs.
     pub fn runs(&self) -> &[RunResult] {
         &self.runs
+    }
+
+    /// Batch-means estimates, when executed with
+    /// [`StopRule::BatchMeans`].
+    pub fn batch_means(&self) -> Option<&BatchEstimates> {
+        self.batch.as_ref()
     }
 
     /// Applies `metric` to each run and combines the values into a mean
@@ -210,9 +507,22 @@ impl MultiRun {
             .estimate()
     }
 
-    /// `MD_local` across replications.
+    /// Applies `metric` to each run and returns the full descriptive
+    /// summary (the `stats.json` record for one metric).
+    pub fn summary_of<F>(&self, metric: F) -> Summary
+    where
+        F: Fn(&RunResult) -> f64,
+    {
+        Summary::from_values(&self.runs.iter().map(metric).collect::<Vec<_>>())
+    }
+
+    /// `MD_local` across replications (batch-means interval when run
+    /// under [`StopRule::BatchMeans`]).
     pub fn md_local(&self) -> Estimate {
-        self.estimate(|r| r.metrics.md_local())
+        match &self.batch {
+            Some(b) => b.md_local,
+            None => self.estimate(|r| r.metrics.md_local()),
+        }
     }
 
     /// `MD_subtask` across replications.
@@ -220,9 +530,13 @@ impl MultiRun {
         self.estimate(|r| r.metrics.md_subtask())
     }
 
-    /// `MD_global` (all global classes) across replications.
+    /// `MD_global` (all global classes) across replications
+    /// (batch-means interval when run under [`StopRule::BatchMeans`]).
     pub fn md_global(&self) -> Estimate {
-        self.estimate(|r| r.metrics.md_global())
+        match &self.batch {
+            Some(b) => b.md_global,
+            None => self.estimate(|r| r.metrics.md_global()),
+        }
     }
 
     /// `MD_global` for the class with exactly `n` subtasks.
@@ -248,6 +562,62 @@ impl MultiRun {
         }
         pooled
     }
+
+    /// The per-metric descriptive statistics of this run set — the
+    /// content of a `stats.json` file.
+    pub fn stats(&self) -> StatsReport {
+        StatsReport {
+            entries: vec![
+                ("md_local", self.summary_of(|r| r.metrics.md_local())),
+                ("md_subtask", self.summary_of(|r| r.metrics.md_subtask())),
+                ("md_global", self.summary_of(|r| r.metrics.md_global())),
+                (
+                    "missed_work",
+                    self.summary_of(|r| r.metrics.missed_work_fraction()),
+                ),
+                ("utilization", self.summary_of(RunResult::utilization)),
+            ],
+        }
+    }
+}
+
+/// Per-metric descriptive statistics for one run point, rendered as
+/// `stats.json`: a JSON object mapping each metric name to
+/// `{"mean", "stddev", "stderr", "min", "max", "samples",
+/// "confidence_interval_95": [lo, hi], "ci_width_ratio"}`.
+#[derive(Debug, Clone)]
+pub struct StatsReport {
+    entries: Vec<(&'static str, Summary)>,
+}
+
+impl StatsReport {
+    /// The metrics in report order.
+    pub fn entries(&self) -> &[(&'static str, Summary)] {
+        &self.entries
+    }
+
+    /// Looks up one metric's summary by name.
+    pub fn get(&self, name: &str) -> Option<&Summary> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// Renders the report as a `stats.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (name, summary)) in self.entries.iter().enumerate() {
+            out.push_str(&format!("  \"{name}\": {}", summary.to_json()));
+            out.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push('}');
+        out
+    }
 }
 
 #[cfg(test)]
@@ -263,22 +633,149 @@ mod tests {
     }
 
     #[test]
-    fn run_produces_result() {
-        let r = run(&quick(), 5).unwrap();
+    fn runner_fixed_reps_produces_results() {
+        let multi = Runner::new(quick())
+            .seed(5)
+            .stop(StopRule::FixedReps(2))
+            .execute()
+            .unwrap();
+        assert_eq!(multi.runs().len(), 2);
+        let r = &multi.runs()[0];
         assert!(r.events > 10_000);
         assert_eq!(r.busy.len(), 6);
         assert!(r.metrics.local_count() > 1_000);
         assert!((r.utilization() - 0.5).abs() < 0.08, "{}", r.utilization());
-        assert_eq!(r.seed, 5);
+        assert_eq!(r.seed, derive_seed(5, 0));
+        assert_eq!(multi.runs()[1].seed, derive_seed(5, 1));
     }
 
     #[test]
-    fn run_rejects_invalid_config() {
+    fn runner_rejects_invalid_config() {
         let bad = quick().with_load(2.0);
-        assert!(run(&bad, 0).is_err());
+        assert!(Runner::new(bad).execute().is_err());
     }
 
     #[test]
+    fn runner_is_deterministic_across_jobs() {
+        // The ISSUE's core guarantee: jobs=1 and jobs=8 are bit-identical.
+        let base = Runner::new(quick()).seed(42).stop(StopRule::FixedReps(4));
+        let serial = base.clone().jobs(1).execute().unwrap();
+        let parallel = base.clone().jobs(8).execute().unwrap();
+        assert_eq!(serial.runs().len(), parallel.runs().len());
+        for (a, b) in serial.runs().iter().zip(parallel.runs()) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.events, b.events);
+            assert_eq!(
+                a.metrics.md_local().to_bits(),
+                b.metrics.md_local().to_bits()
+            );
+            assert_eq!(
+                a.metrics.md_global().to_bits(),
+                b.metrics.md_global().to_bits()
+            );
+            assert_eq!(a.busy, b.busy);
+        }
+    }
+
+    #[test]
+    fn runner_ci_width_stops_when_converged() {
+        // Low-variance config: MD estimates agree closely across seeds,
+        // so a loose target is met at the floor.
+        let multi = Runner::new(quick())
+            .seed(7)
+            .stop(StopRule::CiWidth(50.0))
+            .min_reps(2)
+            .max_reps(32)
+            .execute()
+            .unwrap();
+        assert_eq!(multi.runs().len(), 2, "loose target must stop at the floor");
+        // And the cap binds under an unattainable target.
+        let capped = Runner::new(quick())
+            .seed(7)
+            .stop(StopRule::CiWidth(1e-9))
+            .min_reps(2)
+            .max_reps(5)
+            .execute()
+            .unwrap();
+        assert_eq!(capped.runs().len(), 5, "hard cap must bind");
+    }
+
+    #[test]
+    fn runner_ci_width_rep_counts_match_across_jobs() {
+        let base = Runner::new(quick())
+            .seed(11)
+            .stop(StopRule::CiWidth(0.05))
+            .max_reps(8);
+        let serial = base.clone().jobs(1).execute().unwrap();
+        let parallel = base.clone().jobs(4).execute().unwrap();
+        assert_eq!(serial.runs().len(), parallel.runs().len());
+        let a = serial.md_local();
+        let b = parallel.md_local();
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        assert_eq!(a.half_width.to_bits(), b.half_width.to_bits());
+    }
+
+    #[test]
+    fn runner_explicit_seeds_override_derivation() {
+        let multi = Runner::new(quick())
+            .with_seeds(vec![3, 9])
+            .stop(StopRule::FixedReps(2))
+            .execute()
+            .unwrap();
+        assert_eq!(multi.runs()[0].seed, 3);
+        assert_eq!(multi.runs()[1].seed, 9);
+        // Explicit lists cap the replication budget.
+        let capped = Runner::new(quick())
+            .with_seeds(vec![3, 9])
+            .stop(StopRule::FixedReps(10))
+            .execute()
+            .unwrap();
+        assert_eq!(capped.runs().len(), 2);
+    }
+
+    #[test]
+    fn stats_report_covers_schema() {
+        let multi = Runner::new(quick())
+            .seed(1)
+            .stop(StopRule::FixedReps(2))
+            .execute()
+            .unwrap();
+        let stats = multi.stats();
+        for name in [
+            "md_local",
+            "md_subtask",
+            "md_global",
+            "missed_work",
+            "utilization",
+        ] {
+            let s = stats.get(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(s.samples, 2);
+        }
+        let json = stats.to_json();
+        assert!(json.contains("\"md_local\": {\"mean\":"));
+        assert!(json.contains("\"confidence_interval_95\": ["));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_matches_runner() {
+        let cfg = quick();
+        let direct = run(&cfg, 5).unwrap();
+        let via_runner = Runner::new(cfg)
+            .with_seeds(vec![5])
+            .stop(StopRule::FixedReps(1))
+            .execute()
+            .unwrap();
+        assert_eq!(direct.seed, 5);
+        assert_eq!(
+            direct.metrics.md_local(),
+            via_runner.runs()[0].metrics.md_local()
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn replicate_matches_individual_runs() {
         let cfg = quick();
         let multi = replicate(&cfg, &[1, 2]).unwrap();
@@ -292,6 +789,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn estimates_have_uncertainty_with_two_runs() {
         let multi = replicate(&quick(), &[1, 2]).unwrap();
         let e = multi.md_local();
@@ -305,22 +803,25 @@ mod tests {
     }
 
     #[test]
-    fn seeds_are_distinct() {
+    fn seeds_are_distinct_and_derived() {
         let s = seeds(1000, 8);
         assert_eq!(s.len(), 8);
         let mut dedup = s.clone();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), 8);
+        assert_eq!(s, derive_seeds(1000, 8));
     }
 
     #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "at least one seed")]
     fn replicate_empty_seeds_panics() {
         let _ = replicate(&quick(), &[]);
     }
 
     #[test]
+    #[allow(deprecated)]
     fn batch_means_agrees_with_replications() {
         let cfg = SimConfig {
             duration: 40_000.0,
@@ -352,6 +853,30 @@ mod tests {
     }
 
     #[test]
+    fn runner_batch_means_mode_attaches_estimates() {
+        let cfg = SimConfig {
+            duration: 20_000.0,
+            warmup: 400.0,
+            ..SimConfig::baseline()
+        };
+        let multi = Runner::new(cfg)
+            .seed(9)
+            .stop(StopRule::BatchMeans { batch_size: 1_000 })
+            .execute()
+            .unwrap();
+        assert_eq!(multi.runs().len(), 1);
+        let batch = multi.batch_means().expect("batch estimates present");
+        assert!(batch.batches.0 >= 5);
+        // md_local()/md_global() answer from the batch interval.
+        assert_eq!(multi.md_local().mean, batch.md_local.mean);
+        assert!(
+            multi.md_local().half_width > 0.0,
+            "single run still has a CI"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn batch_means_counts_tasks_after_warmup_only() {
         let cfg = quick();
         let bm = run_batch_means(&cfg, 10, 100).unwrap();

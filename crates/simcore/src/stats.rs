@@ -279,9 +279,12 @@ pub fn t_critical_95(df: u64) -> f64 {
     }
 }
 
+/// Means smaller than this (in absolute value) are treated as zero when
+/// forming relative CI widths; see [`Estimate::width_ratio`].
+const MEAN_EPS: f64 = 1e-9;
+
 /// A point estimate with a symmetric 95% confidence half-width.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Estimate {
     /// The point estimate (mean across replications).
     pub mean: f64,
@@ -301,6 +304,22 @@ impl Estimate {
     /// Whether `other` lies inside this estimate's confidence interval.
     pub fn covers(&self, other: f64) -> bool {
         (other - self.mean).abs() <= self.half_width
+    }
+
+    /// The CI width relative to the mean: `(hi - lo) / |mean|`.
+    ///
+    /// For means at (or indistinguishable from) zero the ratio would
+    /// blow up on noise alone, so the *absolute* width is returned
+    /// instead — the convergence criterion then reads "the interval
+    /// itself is narrower than the target", which is the conventional
+    /// fallback for zero-mean metrics.
+    pub fn width_ratio(&self) -> f64 {
+        let width = 2.0 * self.half_width;
+        if self.mean.abs() > MEAN_EPS {
+            width / self.mean.abs()
+        } else {
+            width
+        }
     }
 }
 
@@ -355,6 +374,19 @@ impl Replications {
         &self.values
     }
 
+    /// Merges another set of replications into this one (incremental
+    /// estimates pooled across rounds or workers; order-independent up
+    /// to the recorded sequence).
+    pub fn merge(&mut self, other: &Replications) {
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// The full descriptive summary across replications — the
+    /// `stats.json` record for one metric.
+    pub fn summary(&self) -> Summary {
+        Summary::from_values(&self.values)
+    }
+
     /// Mean ± 95% half-width across replications.
     ///
     /// With a single replication the half-width is reported as 0 (unknown);
@@ -376,6 +408,121 @@ impl Replications {
             / (n - 1) as f64;
         let half_width = t_critical_95((n - 1) as u64) * (var / n as f64).sqrt();
         Estimate { mean, half_width }
+    }
+}
+
+/// The full descriptive statistics of one metric across replications —
+/// one entry of a `stats.json` file.
+///
+/// The schema (documented in the repository README) is:
+/// `mean`, `stddev` (sample, n−1), `stderr` (`stddev / sqrt(samples)`),
+/// `min`, `max`, `samples`, `confidence_interval_95` (`[lo, hi]`,
+/// Student-t), and `ci_width_ratio` (`(hi − lo) / |mean|`, or the
+/// absolute width when the mean is ≈ 0 — see [`Estimate::width_ratio`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean of the samples.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 below two samples).
+    pub stddev: f64,
+    /// Standard error of the mean, `stddev / sqrt(samples)`.
+    pub stderr: f64,
+    /// Smallest sample (0 if empty).
+    pub min: f64,
+    /// Largest sample (0 if empty).
+    pub max: f64,
+    /// Number of samples.
+    pub samples: u64,
+    /// Lower bound of the 95% confidence interval.
+    pub ci_lo: f64,
+    /// Upper bound of the 95% confidence interval.
+    pub ci_hi: f64,
+    /// Relative CI width used for convergence decisions.
+    pub ci_width_ratio: f64,
+}
+
+impl Summary {
+    /// Summarizes a set of per-replication values.
+    pub fn from_values(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary {
+                mean: 0.0,
+                stddev: 0.0,
+                stderr: 0.0,
+                min: 0.0,
+                max: 0.0,
+                samples: 0,
+                ci_lo: 0.0,
+                ci_hi: 0.0,
+                ci_width_ratio: 0.0,
+            };
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let (stddev, stderr) = if values.len() >= 2 {
+            let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+            (var.sqrt(), (var / n).sqrt())
+        } else {
+            (0.0, 0.0)
+        };
+        let half_width = if values.len() >= 2 {
+            t_critical_95(values.len() as u64 - 1) * stderr
+        } else {
+            0.0
+        };
+        let est = Estimate { mean, half_width };
+        Summary {
+            mean,
+            stddev,
+            stderr,
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            samples: values.len() as u64,
+            ci_lo: mean - half_width,
+            ci_hi: mean + half_width,
+            ci_width_ratio: est.width_ratio(),
+        }
+    }
+
+    /// The point estimate with its 95% half-width.
+    pub fn estimate(&self) -> Estimate {
+        Estimate {
+            mean: self.mean,
+            half_width: self.ci_hi - self.mean,
+        }
+    }
+
+    /// Whether the CI width ratio meets `target` (needs ≥ 2 samples —
+    /// a single replication has no measurable uncertainty).
+    pub fn converged(&self, target: f64) -> bool {
+        self.samples >= 2 && self.ci_width_ratio <= target
+    }
+
+    /// Renders this summary as a `stats.json` metric object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"mean\": {}, \"stddev\": {}, \"stderr\": {}, \"min\": {}, \"max\": {}, \
+             \"samples\": {}, \"confidence_interval_95\": [{}, {}], \"ci_width_ratio\": {}}}",
+            json_f64(self.mean),
+            json_f64(self.stddev),
+            json_f64(self.stderr),
+            json_f64(self.min),
+            json_f64(self.max),
+            self.samples,
+            json_f64(self.ci_lo),
+            json_f64(self.ci_hi),
+            json_f64(self.ci_width_ratio),
+        )
+    }
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/∞, so non-finite
+/// values render as `null`).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -800,6 +947,99 @@ mod tests {
         assert_eq!(reps.values(), &[1.0, 2.0, 3.0]);
         let e = reps.estimate();
         assert!((e.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replications_merge_pools_values() {
+        let mut a: Replications = [0.1, 0.2].into_iter().collect();
+        let b: Replications = [0.3, 0.4].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.values(), &[0.1, 0.2, 0.3, 0.4]);
+        assert!((a.estimate().mean - 0.25).abs() < 1e-12);
+        a.merge(&Replications::new());
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        // n = 3: mean 2, sample variance 1, stderr 1/sqrt(3),
+        // half-width t(2) * stderr = 4.303 / sqrt(3).
+        let s = Summary::from_values(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.samples, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.stddev - 1.0).abs() < 1e-12);
+        assert!((s.stderr - 1.0 / 3.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        let hw = 4.303 / 3.0f64.sqrt();
+        assert!((s.ci_lo - (2.0 - hw)).abs() < 1e-9);
+        assert!((s.ci_hi - (2.0 + hw)).abs() < 1e-9);
+        assert!((s.ci_width_ratio - 2.0 * hw / 2.0).abs() < 1e-9);
+        assert!((s.estimate().half_width - hw).abs() < 1e-9);
+        assert!(!s.converged(0.1));
+        assert!(s.converged(10.0));
+    }
+
+    #[test]
+    fn summary_degenerate_sizes() {
+        let empty = Summary::from_values(&[]);
+        assert_eq!(empty.samples, 0);
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.min, 0.0);
+        assert!(!empty.converged(1.0), "no samples can never be converged");
+        let one = Summary::from_values(&[0.7]);
+        assert_eq!(one.samples, 1);
+        assert_eq!(one.mean, 0.7);
+        assert_eq!(one.stddev, 0.0);
+        assert_eq!(one.ci_lo, 0.7);
+        assert_eq!(one.ci_hi, 0.7);
+        assert!(
+            !one.converged(1.0),
+            "one replication has unknown uncertainty"
+        );
+    }
+
+    #[test]
+    fn width_ratio_falls_back_to_absolute_near_zero() {
+        let wide = Estimate {
+            mean: 0.5,
+            half_width: 0.05,
+        };
+        assert!((wide.width_ratio() - 0.2).abs() < 1e-12);
+        let zeroish = Estimate {
+            mean: 0.0,
+            half_width: 0.01,
+        };
+        assert!((zeroish.width_ratio() - 0.02).abs() < 1e-12);
+        // Identical replications: zero width, always converged.
+        let s = Summary::from_values(&[0.0, 0.0, 0.0]);
+        assert_eq!(s.ci_width_ratio, 0.0);
+        assert!(s.converged(0.1));
+    }
+
+    #[test]
+    fn summary_json_is_schema_shaped() {
+        let s = Summary::from_values(&[0.24, 0.26]);
+        let json = s.to_json();
+        for key in [
+            "\"mean\"",
+            "\"stddev\"",
+            "\"stderr\"",
+            "\"min\"",
+            "\"max\"",
+            "\"samples\"",
+            "\"confidence_interval_95\"",
+            "\"ci_width_ratio\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"samples\": 2"));
+        // Non-finite values must render as null, not break the JSON.
+        let mut bad = s;
+        bad.min = f64::NEG_INFINITY;
+        assert!(bad.to_json().contains("\"min\": null"));
     }
 
     #[test]

@@ -22,7 +22,6 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert!(SimTime::ZERO < t);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimTime(f64);
 
 impl SimTime {

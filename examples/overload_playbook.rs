@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ..SimConfig::baseline()
             }
             .with_strategy(*strategy);
-            let multi = replicate(&cfg, &seeds(33, 2))?;
+            let multi = Runner::new(cfg)
+                .seed(33)
+                .stop(StopRule::FixedReps(2))
+                .execute()?;
             print!(" {:>15.1}%", 100.0 * multi.md_global().mean);
         }
         println!();
@@ -80,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..SimConfig::section8()
         }
         .with_strategy(SdaStrategy::eqf_div1());
-        let multi = replicate(&cfg, &seeds(34, 2))?;
+        let multi = Runner::new(cfg)
+            .seed(34)
+            .stop(StopRule::FixedReps(2))
+            .execute()?;
         println!(
             "  {:<12} MD_global = {:>5.1}%",
             label,

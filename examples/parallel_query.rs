@@ -25,8 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             duration: 100_000.0,
             ..SimConfig::baseline()
         };
-        let ud = replicate(&base.clone(), &seeds(21, 2))?;
-        let div1 = replicate(&base.with_strategy(SdaStrategy::ud_div1()), &seeds(21, 2))?;
+        let runner = Runner::new(base.clone())
+            .seed(21)
+            .stop(StopRule::FixedReps(2));
+        let ud = runner.clone().execute()?;
+        let div1 = Runner::new(base.with_strategy(SdaStrategy::ud_div1()))
+            .seed(21)
+            .stop(StopRule::FixedReps(2))
+            .execute()?;
         let p = ud.md_subtask().mean;
         println!(
             "  {:<4} {:>13.1}% {:>13.1}% {:>15.1}% {:>13.1}%",

@@ -1,0 +1,91 @@
+//! Parallel table regeneration: the same replication budget at
+//! `jobs = 1` versus `jobs = 4`.
+//!
+//! Regenerates the paper's §6.1 baseline comparison (UD vs DIV-1 at
+//! load 0.5, the core of Figure 6) twice — once sequentially, once on
+//! four worker threads — and checks three things:
+//!
+//! 1. the results are **bit-identical** (the SplitMix64 seed stream
+//!    depends only on `(base_seed, replication_index)`, never on the
+//!    thread schedule);
+//! 2. the wall-clock **speedup at jobs=4 exceeds 2×**;
+//! 3. the rendered table is the same either way.
+//!
+//! Run with: `cargo run --release --example parallel_speedup`
+
+use std::time::Instant;
+
+use sda::prelude::*;
+
+const REPS: usize = 8;
+const SEED: u64 = 42;
+
+fn regenerate(jobs: usize) -> Result<(MultiRun, MultiRun), Box<dyn std::error::Error>> {
+    let base = SimConfig {
+        duration: 50_000.0,
+        ..SimConfig::baseline()
+    };
+    let ud = Runner::new(base.clone())
+        .seed(SEED)
+        .jobs(jobs)
+        .stop(StopRule::FixedReps(REPS))
+        .execute()?;
+    let div1 = Runner::new(base.with_strategy(SdaStrategy::ud_div1()))
+        .seed(SEED)
+        .jobs(jobs)
+        .stop(StopRule::FixedReps(REPS))
+        .execute()?;
+    Ok((ud, div1))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "regenerating the §6.1 baseline table ({} replications per strategy)\n",
+        REPS
+    );
+
+    let t1 = Instant::now();
+    let (ud_seq, div1_seq) = regenerate(1)?;
+    let sequential = t1.elapsed();
+
+    let t4 = Instant::now();
+    let (ud_par, div1_par) = regenerate(4)?;
+    let parallel = t4.elapsed();
+
+    println!(
+        "  {:<10} {:>14} {:>14}",
+        "strategy", "MD_local", "MD_global"
+    );
+    for (name, multi) in [("UD", &ud_par), ("DIV-1", &div1_par)] {
+        println!(
+            "  {:<10} {:>13.1}% {:>13.1}%",
+            name,
+            100.0 * multi.md_local().mean,
+            100.0 * multi.md_global().mean,
+        );
+    }
+
+    let identical = ud_seq
+        .runs()
+        .iter()
+        .zip(ud_par.runs())
+        .chain(div1_seq.runs().iter().zip(div1_par.runs()))
+        .all(|(a, b)| {
+            a.seed == b.seed
+                && a.metrics.md_global().to_bits() == b.metrics.md_global().to_bits()
+                && a.metrics.md_local().to_bits() == b.metrics.md_local().to_bits()
+        });
+    let speedup = sequential.as_secs_f64() / parallel.as_secs_f64();
+
+    println!("\n  jobs=1: {sequential:>8.2?}   jobs=4: {parallel:>8.2?}   speedup: {speedup:.2}x");
+    println!(
+        "  results bit-identical across jobs: {}",
+        if identical { "yes" } else { "NO" }
+    );
+
+    assert!(identical, "jobs=4 must reproduce jobs=1 bit-for-bit");
+    if speedup <= 2.0 {
+        eprintln!("  warning: speedup {speedup:.2}x <= 2x (machine may have < 4 free cores)");
+    }
+    Ok(())
+}

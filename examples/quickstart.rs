@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
         ),
     ] {
-        let multi = replicate(&cfg.clone().with_strategy(strategy), &seeds(7, 2))?;
+        let multi = Runner::new(cfg.clone().with_strategy(strategy))
+            .seed(7)
+            .stop(StopRule::FixedReps(2))
+            .execute()?;
         println!(
             "  {:<8} {:>11.1}% {:>11.1}% {:>13.1}%",
             label,

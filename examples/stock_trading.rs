@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("§8 experiment (Figure 15) at load 0.5, global slack U[6.25, 25]:");
     println!("  {:<10} {:>12} {:>12}", "SDA", "MD_local", "MD_global");
     for strategy in SdaStrategy::table2() {
-        let multi = replicate(&base.clone().with_strategy(strategy), &seeds(8, 2))?;
+        let multi = Runner::new(base.clone().with_strategy(strategy))
+            .seed(8)
+            .stop(StopRule::FixedReps(2))
+            .execute()?;
         println!(
             "  {:<10} {:>11.1}% {:>11.1}%",
             strategy.label(),

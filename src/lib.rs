@@ -65,6 +65,10 @@
 
 #![warn(missing_docs)]
 
+// The experiment-running surface, re-exported at the root so one
+// `use sda::{Runner, StopRule};` is enough to drive simulations.
+pub use sda_sim::{MultiRun, Runner, SimConfig, StatsReport, StopRule};
+
 pub use sda_core as core;
 pub use sda_experiments as experiments;
 pub use sda_model as model;
@@ -78,9 +82,11 @@ pub mod prelude {
         Decomposition, EstimationModel, PspStrategy, Release, SdaStrategy, SspStrategy,
     };
     pub use sda_model::{parse_spec, Attrs, NodeId, TaskClass, TaskId, TaskSpec};
+    #[allow(deprecated)]
+    pub use sda_sim::{replicate, run};
     pub use sda_sim::{
-        replicate, run, seeds, AbortPolicy, GlobalShape, Metrics, MultiRun, ResubmitPolicy,
-        RunResult, SimConfig,
+        seeds, AbortPolicy, GlobalShape, Metrics, MultiRun, ResubmitPolicy, RunResult, Runner,
+        SimConfig, StatsReport, StopRule,
     };
     pub use sda_simcore::SimTime;
 }

@@ -3,6 +3,18 @@
 //! is an M/M/1 queue, for which everything is known in closed form.
 
 use sda::prelude::*;
+
+/// Single-replication run through the [`Runner`], with the replication's
+/// seed given explicitly (shadows the deprecated free function).
+fn run(cfg: &SimConfig, seed: u64) -> Result<RunResult, sda::sim::ConfigError> {
+    Ok(Runner::new(cfg.clone())
+        .with_seeds(vec![seed])
+        .stop(StopRule::FixedReps(1))
+        .execute()?
+        .runs()[0]
+        .clone())
+}
+
 use sda::sched::Policy;
 
 fn mm1_cfg(load: f64) -> SimConfig {
