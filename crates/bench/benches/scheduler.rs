@@ -67,5 +67,38 @@ fn queue_remove_by(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, queue_churn, queue_remove_by);
+/// Keyed O(1) removal (what the abortion path uses now) at the same
+/// depths as `queue_remove_by` — the numbers should stay flat as the
+/// queue deepens.
+fn queue_remove_key(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_remove_key");
+    for depth in [16usize, 256, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter_batched(
+                || {
+                    let mut rng = Rng::seed_from(44);
+                    let mut q = ReadyQueue::new(Policy::Edf);
+                    for i in 0..depth as u64 {
+                        q.push_keyed(
+                            i,
+                            QueuedTask::new(
+                                SimTime::from(rng.next_f64() * 1000.0),
+                                rng.next_f64() * 4.0,
+                                i,
+                            ),
+                        );
+                    }
+                    q
+                },
+                |mut q| {
+                    black_box(q.remove_key((depth / 2) as u64));
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, queue_churn, queue_remove_by, queue_remove_key);
 criterion_main!(benches);

@@ -13,6 +13,8 @@
 //! 0 = auto), --ci-target R (adaptive stopping on the 95% CI width
 //! ratio; --reps becomes the floor, --max-reps the cap), and
 //! --stats-out PATH (write per-metric statistics as stats.json).
+//! `run` additionally takes --trace-out PATH: write replication 0's
+//! structured event trace as JSONL, byte-identical at any --jobs level.
 //!
 //! sda decompose SPEC DEADLINE STRATEGY [--pex P1,P2,...]
 //!     Decompose an end-to-end deadline over a serial-parallel task
@@ -27,6 +29,7 @@ use std::process::ExitCode;
 use sda_cli::{apply_setting, load_config, parse_strategy, render_report};
 use sda_core::Decomposition;
 use sda_model::parse_spec;
+use sda_sim::trace::{JsonlSink, SharedSink};
 use sda_sim::{MultiRun, Runner, SimConfig, StopRule};
 use sda_simcore::SimTime;
 
@@ -67,23 +70,35 @@ struct RunOptions {
     max_reps: usize,
     /// Where to write the per-metric `stats.json`, if anywhere.
     stats_out: Option<String>,
+    /// Where to write the replication-0 JSONL trace, if anywhere.
+    trace_out: Option<String>,
 }
 
 impl RunOptions {
-    /// Runs `cfg` under these options.
+    /// Runs `cfg` under these options. The trace (if requested) records
+    /// replication 0 only, so its bytes are independent of `--jobs`.
     fn execute(&self, cfg: &SimConfig) -> Result<MultiRun, String> {
         let stop = match self.ci_target {
             Some(target) => StopRule::CiWidth(target),
             None => StopRule::FixedReps(self.reps),
         };
-        Runner::new(cfg.clone())
+        let mut runner = Runner::new(cfg.clone())
             .seed(self.seed)
             .jobs(self.jobs)
             .stop(stop)
             .min_reps(self.reps.max(2))
-            .max_reps(self.max_reps)
-            .execute()
-            .map_err(|e| e.to_string())
+            .max_reps(self.max_reps);
+        if let Some(path) = &self.trace_out {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create trace file {path:?}: {e}"))?;
+            let sink = JsonlSink::new(std::io::BufWriter::new(file));
+            runner = runner.trace(SharedSink::new(Box::new(sink)));
+        }
+        let multi = runner.execute().map_err(|e| e.to_string())?;
+        if let Some(path) = &self.trace_out {
+            eprintln!("trace written to {path}");
+        }
+        Ok(multi)
     }
 }
 
@@ -105,6 +120,7 @@ fn split_options(args: &[String]) -> Result<(Vec<&String>, RunOptions), String> 
         ci_target: None,
         max_reps: 64,
         stats_out: None,
+        trace_out: None,
     };
     let mut positional = Vec::new();
     let mut iter = args.iter();
@@ -143,6 +159,10 @@ fn split_options(args: &[String]) -> Result<(Vec<&String>, RunOptions), String> 
             "--stats-out" => {
                 let v = iter.next().ok_or("--stats-out needs a value")?;
                 opts.stats_out = Some(v.clone());
+            }
+            "--trace-out" => {
+                let v = iter.next().ok_or("--trace-out needs a value")?;
+                opts.trace_out = Some(v.clone());
             }
             _ => positional.push(arg),
         }
@@ -192,6 +212,9 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let (base, strategy_args) = build_config(&positional)?;
     if strategy_args.is_empty() {
         return Err("compare needs at least one strategy label (e.g. UD-UD EQF-DIV1)".into());
+    }
+    if opts.trace_out.is_some() {
+        return Err("--trace-out is only supported by `sda run`".into());
     }
     base.validate().map_err(|e| e.to_string())?;
     println!(
@@ -271,6 +294,9 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let (base, leftovers) = build_config(rest)?;
     if let Some(extra) = leftovers.first() {
         return Err(format!("unexpected argument {extra:?}"));
+    }
+    if opts.trace_out.is_some() {
+        return Err("--trace-out is only supported by `sda run`".into());
     }
     println!(
         "{:<10} {:>16} {:>16} {:>16}",
@@ -397,9 +423,12 @@ fn print_help(topic: Option<&str>) {
          \x20 --ci-target R  add replications until each MD metric's 95% CI\n\
          \x20                width ratio is <= R (capped by --max-reps)\n\
          \x20 --max-reps N   replication cap under --ci-target (default 64)\n\
-         \x20 --stats-out F  write per-metric statistics to F as stats.json\n\n\
+         \x20 --stats-out F  write per-metric statistics to F as stats.json\n\
+         \x20 --trace-out F  (run only) write replication 0's event trace to F\n\
+         \x20                as JSONL; the bytes do not depend on --jobs\n\n\
          examples:\n\
          \x20 sda run load=0.7 strategy=UD-DIV1 --jobs 8 --stats-out stats.json\n\
+         \x20 sda run load=0.7 duration=2000 --trace-out trace.jsonl\n\
          \x20 sda compare load=0.5 UD-UD UD-DIV1 UD-GF EQF-DIV1\n\
          \x20 sda sweep load=0.1..0.9:0.2 strategy=UD-GF --ci-target 0.1\n\
          \x20 sda decompose \"[a [b || c] d]\" 12 EQF-DIV1 --pex 1,2,2,1"
@@ -433,6 +462,7 @@ mod tests {
         assert_eq!(opts.ci_target, None);
         assert_eq!(opts.max_reps, 64);
         assert_eq!(opts.stats_out, None);
+        assert_eq!(opts.trace_out, None);
         assert!(split_options(&strings(&["--seed"])).is_err());
         assert!(split_options(&strings(&["--reps", "0"])).is_err());
     }
@@ -448,6 +478,8 @@ mod tests {
             "16",
             "--stats-out",
             "out.json",
+            "--trace-out",
+            "trace.jsonl",
         ]);
         let (positional, opts) = split_options(&args).unwrap();
         assert!(positional.is_empty());
@@ -455,9 +487,11 @@ mod tests {
         assert_eq!(opts.ci_target, Some(0.1));
         assert_eq!(opts.max_reps, 16);
         assert_eq!(opts.stats_out.as_deref(), Some("out.json"));
+        assert_eq!(opts.trace_out.as_deref(), Some("trace.jsonl"));
         assert!(split_options(&strings(&["--ci-target", "-1"])).is_err());
         assert!(split_options(&strings(&["--max-reps", "0"])).is_err());
         assert!(split_options(&strings(&["--stats-out"])).is_err());
+        assert!(split_options(&strings(&["--trace-out"])).is_err());
     }
 
     #[test]
@@ -486,6 +520,7 @@ mod tests {
             ci_target: Some(100.0),
             max_reps: 8,
             stats_out: None,
+            trace_out: None,
         };
         let multi = opts.execute(&cfg).unwrap();
         assert_eq!(multi.runs().len(), 2, "loose target stops at the floor");

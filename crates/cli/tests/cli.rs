@@ -147,3 +147,57 @@ fn bad_input_fails_with_a_message() {
     let out = sda(&["decompose", "[a ||]", "5", "UD-UD"]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn trace_out_writes_jobs_invariant_jsonl() {
+    let dir = std::env::temp_dir().join("sda-cli-trace-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let seq = dir.join("trace-seq.jsonl");
+    let par = dir.join("trace-par.jsonl");
+    for (path, jobs) in [(&seq, "1"), (&par, "4")] {
+        let out = sda(&[
+            "run",
+            "duration=500",
+            "warmup=0",
+            "--seed",
+            "5",
+            "--reps",
+            "3",
+            "--jobs",
+            jobs,
+            "--trace-out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(String::from_utf8_lossy(&out.stderr).contains("trace written"));
+    }
+    let a = std::fs::read(&seq).unwrap();
+    let b = std::fs::read(&par).unwrap();
+    assert!(!a.is_empty(), "trace file has content");
+    assert_eq!(a, b, "trace bytes must not depend on --jobs");
+    // Every line is a structured record the trace parser accepts.
+    let text = String::from_utf8(a).unwrap();
+    let records = sda_sim::parse_jsonl(&text);
+    assert_eq!(records.len(), text.lines().count());
+    assert!(records.iter().any(|r| r.event.kind() == "service_started"));
+}
+
+#[test]
+fn trace_out_is_run_only() {
+    let out = sda(&[
+        "compare",
+        "duration=500",
+        "warmup=0",
+        "UD-UD",
+        "--reps",
+        "1",
+        "--trace-out",
+        "unused.jsonl",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("only supported by `sda run`"));
+}

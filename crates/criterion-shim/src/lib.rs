@@ -71,7 +71,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Accepted for compatibility; the shim sizes samples by
-    /// [`MIN_SAMPLE_TIME`] instead of a total measurement budget.
+    /// `MIN_SAMPLE_TIME` instead of a total measurement budget.
     pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
         self
     }

@@ -2,7 +2,7 @@
 //! intervals labelled by job id — makes scheduling decisions (EDF order,
 //! GF queue-cutting, preemption) directly visible.
 
-use sda_sim::TraceEvent;
+use sda_sim::{TraceEvent, TraceRecord};
 
 /// One service burst on a node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,11 +19,12 @@ struct Burst {
 /// node (e.g. the job was aborted, which frees the server without a
 /// completion record) close at that instant, and intervals open at the
 /// end of the trace close at `horizon`.
-fn bursts(events: &[(f64, TraceEvent)], nodes: usize, horizon: f64) -> Vec<Burst> {
+fn bursts(records: &[TraceRecord], nodes: usize, horizon: f64) -> Vec<Burst> {
     let mut open: Vec<Option<(u64, f64)>> = vec![None; nodes];
     let mut out = Vec::new();
-    for &(t, ev) in events {
-        match ev {
+    for r in records {
+        let t = r.time.value();
+        match r.event {
             TraceEvent::ServiceStarted { node, job } if node < nodes => {
                 if let Some((prev_job, start)) = open[node].take() {
                     out.push(Burst {
@@ -72,11 +73,12 @@ fn bursts(events: &[(f64, TraceEvent)], nodes: usize, horizon: f64) -> Vec<Burst
 ///
 /// ```
 /// use sda_experiments::gantt::render_gantt;
-/// use sda_sim::TraceEvent;
+/// use sda_sim::{TraceEvent, TraceRecord};
+/// use sda_simcore::SimTime;
 ///
 /// let trace = vec![
-///     (0.0, TraceEvent::ServiceStarted { node: 0, job: 3 }),
-///     (4.0, TraceEvent::ServiceCompleted { node: 0, job: 3 }),
+///     TraceRecord::new(SimTime::ZERO, TraceEvent::ServiceStarted { node: 0, job: 3 }),
+///     TraceRecord::new(SimTime::from(4.0), TraceEvent::ServiceCompleted { node: 0, job: 3 }),
 /// ];
 /// let lanes = render_gantt(&trace, 1, 0.0, 8.0, 16);
 /// assert!(lanes.contains("node0"));
@@ -87,7 +89,7 @@ fn bursts(events: &[(f64, TraceEvent)], nodes: usize, horizon: f64) -> Vec<Burst
 ///
 /// Panics unless `t0 < t1`, `nodes > 0`, and `width >= 10`.
 pub fn render_gantt(
-    events: &[(f64, TraceEvent)],
+    records: &[TraceRecord],
     nodes: usize,
     t0: f64,
     t1: f64,
@@ -95,7 +97,7 @@ pub fn render_gantt(
 ) -> String {
     assert!(t0 < t1, "empty time window");
     assert!(nodes > 0 && width >= 10, "degenerate gantt shape");
-    let bursts = bursts(events, nodes, t1);
+    let bursts = bursts(records, nodes, t1);
     let mut lanes = vec![vec![' '; width]; nodes];
     let to_col = |t: f64| -> isize { ((t - t0) / (t1 - t0) * width as f64).floor() as isize };
     for b in &bursts {
@@ -123,9 +125,10 @@ pub fn render_gantt(
 mod tests {
     use super::*;
     use sda_sim::TraceEvent as T;
+    use sda_simcore::SimTime;
 
-    fn ev(t: f64, e: T) -> (f64, T) {
-        (t, e)
+    fn ev(t: f64, e: T) -> TraceRecord {
+        TraceRecord::new(SimTime::from(t), e)
     }
 
     #[test]

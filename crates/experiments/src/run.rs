@@ -2,7 +2,7 @@
 //!
 //! All tables, figures, ablations and checkpoints funnel through
 //! [`run_point`], so one place decides how a data point is executed:
-//! the [`Runner`](sda_sim::Runner) with the SplitMix64-derived seed
+//! the [`Runner`] with the SplitMix64-derived seed
 //! stream and the parallelism picked by [`jobs`]. Sweeps that compare
 //! configurations reuse the same base seed across configurations
 //! (common random numbers), which the derived stream preserves — the

@@ -1,7 +1,7 @@
 //! Ready-queue implementations.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
 
 use sda_simcore::SimTime;
@@ -68,38 +68,57 @@ impl<T> QueuedTask<T> {
     }
 }
 
-/// Heap entry with an insertion sequence number for FIFO tie-breaking.
-struct HeapEntry<T> {
-    key: f64,
+/// The payload and metadata of one waiting task, owned by the
+/// insertion-order slab.
+struct Slot<T> {
     deadline: SimTime,
-    seq: u64,
     service_estimate: f64,
+    /// The caller-supplied removal key, if the task was pushed keyed.
+    key: Option<u64>,
     item: T,
 }
 
-impl<T> PartialEq for HeapEntry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key && self.seq == other.seq
+impl<T> Slot<T> {
+    fn into_task(self) -> QueuedTask<T> {
+        QueuedTask {
+            deadline: self.deadline,
+            service_estimate: self.service_estimate,
+            item: self.item,
+        }
     }
 }
 
-impl<T> Eq for HeapEntry<T> {}
+/// Heap entry: the policy's ordering key plus the insertion sequence
+/// number for FIFO tie-breaking. The payload lives in the slab, so
+/// removed tasks leave only a stale `OrderEntry` behind, skipped lazily.
+struct OrderEntry {
+    rank: f64,
+    seq: u64,
+}
 
-impl<T> PartialOrd for HeapEntry<T> {
+impl PartialEq for OrderEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank == other.rank && self.seq == other.seq
+    }
+}
+
+impl Eq for OrderEntry {}
+
+impl PartialOrd for OrderEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<T> Ord for HeapEntry<T> {
+impl Ord for OrderEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed (min-heap behaviour on a max-heap): smaller key first,
-        // then FIFO by sequence number. Keys are never NaN (SimTime is
+        // Reversed (min-heap behaviour on a max-heap): smaller rank first,
+        // then FIFO by sequence number. Ranks are never NaN (SimTime is
         // NaN-free and service estimates are validated on push).
         other
-            .key
-            .partial_cmp(&self.key)
-            .expect("queue keys are never NaN")
+            .rank
+            .partial_cmp(&self.rank)
+            .expect("queue ranks are never NaN")
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -108,10 +127,25 @@ impl<T> Ord for HeapEntry<T> {
 ///
 /// The queue does not model execution — it only decides *which waiting task
 /// a node serves next*. See the `sda-sim` crate for the node/server logic.
+///
+/// # Targeted removal
+///
+/// Abortion (§7.3) pulls specific tasks out of the middle of a queue.
+/// Tasks pushed with [`ReadyQueue::push_keyed`] can be removed by key in
+/// O(1) via [`ReadyQueue::remove_key`]: the payload lives in an
+/// insertion-order slab, so removal only detaches the payload and leaves
+/// a stale ordering entry behind, which `pop` skips lazily (amortized
+/// O(log n)). The predicate form [`ReadyQueue::remove_by`] remains
+/// available for callers without a key, at O(n) scan cost.
 pub struct ReadyQueue<T> {
     policy: Policy,
-    heap: BinaryHeap<HeapEntry<T>>,
-    fifo: VecDeque<HeapEntry<T>>,
+    heap: BinaryHeap<OrderEntry>,
+    fifo: VecDeque<u64>,
+    /// Insertion-order slab: seq → payload. A task is waiting iff its
+    /// seq is present here.
+    alive: HashMap<u64, Slot<T>>,
+    /// Caller key → seq, for O(1) targeted removal.
+    by_key: HashMap<u64, u64>,
     next_seq: u64,
 }
 
@@ -122,6 +156,8 @@ impl<T> ReadyQueue<T> {
             policy,
             heap: BinaryHeap::new(),
             fifo: VecDeque::new(),
+            alive: HashMap::new(),
+            by_key: HashMap::new(),
             next_seq: 0,
         }
     }
@@ -133,12 +169,12 @@ impl<T> ReadyQueue<T> {
 
     /// Number of waiting tasks.
     pub fn len(&self) -> usize {
-        self.heap.len() + self.fifo.len()
+        self.alive.len()
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.alive.is_empty()
     }
 
     /// Enqueues a task.
@@ -148,83 +184,157 @@ impl<T> ReadyQueue<T> {
     /// Panics if `task.service_estimate` is NaN (it would poison the SJF
     /// order).
     pub fn push(&mut self, task: QueuedTask<T>) {
+        self.push_with(None, task);
+    }
+
+    /// Enqueues a task under a caller-chosen removal key (e.g. a job id),
+    /// enabling O(1) [`ReadyQueue::remove_key`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task.service_estimate` is NaN or if `key` is already
+    /// present in the queue — keys must be unique among waiting tasks.
+    pub fn push_keyed(&mut self, key: u64, task: QueuedTask<T>) {
+        self.push_with(Some(key), task);
+    }
+
+    fn push_with(&mut self, key: Option<u64>, task: QueuedTask<T>) {
         assert!(
             !task.service_estimate.is_nan(),
             "service estimate must not be NaN"
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        let entry = HeapEntry {
-            key: match self.policy {
-                Policy::Edf => task.deadline.value(),
-                Policy::Fcfs => 0.0, // unused; the VecDeque keeps order
-                Policy::Sjf => task.service_estimate,
-                Policy::Llf => task.deadline.value() - task.service_estimate,
-            },
-            deadline: task.deadline,
-            seq,
-            service_estimate: task.service_estimate,
-            item: task.item,
+        let rank = match self.policy {
+            Policy::Edf => task.deadline.value(),
+            Policy::Fcfs => 0.0, // unused; the VecDeque keeps order
+            Policy::Sjf => task.service_estimate,
+            Policy::Llf => task.deadline.value() - task.service_estimate,
         };
-        match self.policy {
-            Policy::Fcfs => self.fifo.push_back(entry),
-            _ => self.heap.push(entry),
+        if let Some(key) = key {
+            let prev = self.by_key.insert(key, seq);
+            assert!(prev.is_none(), "duplicate queue key {key}");
         }
+        self.alive.insert(
+            seq,
+            Slot {
+                deadline: task.deadline,
+                service_estimate: task.service_estimate,
+                key,
+                item: task.item,
+            },
+        );
+        match self.policy {
+            Policy::Fcfs => self.fifo.push_back(seq),
+            _ => self.heap.push(OrderEntry { rank, seq }),
+        }
+    }
+
+    /// Discards stale ordering entries at the head so the head is always
+    /// a live task (keeps [`ReadyQueue::peek_deadline`] O(1) and
+    /// borrow-free), and rebuilds the order structure when stale entries
+    /// outnumber live ones (bounds memory after removal storms).
+    fn settle(&mut self) {
+        match self.policy {
+            Policy::Fcfs => {
+                while let Some(seq) = self.fifo.front() {
+                    if self.alive.contains_key(seq) {
+                        break;
+                    }
+                    self.fifo.pop_front();
+                }
+                if self.fifo.len() > 2 * self.alive.len() + 64 {
+                    self.fifo.retain(|seq| self.alive.contains_key(seq));
+                }
+            }
+            _ => {
+                while let Some(top) = self.heap.peek() {
+                    if self.alive.contains_key(&top.seq) {
+                        break;
+                    }
+                    self.heap.pop();
+                }
+                if self.heap.len() > 2 * self.alive.len() + 64 {
+                    let mut entries = std::mem::take(&mut self.heap).into_vec();
+                    entries.retain(|e| self.alive.contains_key(&e.seq));
+                    self.heap = entries.into();
+                }
+            }
+        }
+    }
+
+    /// Detaches a live slot, fixing the key index. The ordering entry
+    /// stays behind as a stale tombstone.
+    fn detach(&mut self, seq: u64) -> Option<Slot<T>> {
+        let slot = self.alive.remove(&seq)?;
+        if let Some(key) = slot.key {
+            self.by_key.remove(&key);
+        }
+        Some(slot)
     }
 
     /// Dequeues the next task to serve according to the policy.
     pub fn pop(&mut self) -> Option<QueuedTask<T>> {
-        let entry = match self.policy {
-            Policy::Fcfs => self.fifo.pop_front(),
-            _ => self.heap.pop(),
-        }?;
-        Some(QueuedTask {
-            deadline: entry.deadline,
-            service_estimate: entry.service_estimate,
-            item: entry.item,
-        })
+        loop {
+            let seq = match self.policy {
+                Policy::Fcfs => self.fifo.pop_front()?,
+                _ => self.heap.pop()?.seq,
+            };
+            if let Some(slot) = self.detach(seq) {
+                self.settle();
+                return Some(slot.into_task());
+            }
+        }
     }
 
     /// The deadline of the task that would be served next (None if empty).
     pub fn peek_deadline(&self) -> Option<SimTime> {
-        match self.policy {
-            Policy::Fcfs => self.fifo.front().map(|e| e.deadline),
-            _ => self.heap.peek().map(|e| e.deadline),
-        }
+        // The head is always live (settled after every removal).
+        let seq = match self.policy {
+            Policy::Fcfs => *self.fifo.front()?,
+            _ => self.heap.peek()?.seq,
+        };
+        self.alive.get(&seq).map(|s| s.deadline)
+    }
+
+    /// Removes the task pushed under `key` (via
+    /// [`ReadyQueue::push_keyed`]) and returns it. O(1); the stale
+    /// ordering entry is skipped lazily by later pops.
+    pub fn remove_key(&mut self, key: u64) -> Option<QueuedTask<T>> {
+        let seq = self.by_key.remove(&key)?;
+        let slot = self
+            .alive
+            .remove(&seq)
+            .expect("key index maps to a live slot");
+        self.settle();
+        Some(slot.into_task())
     }
 
     /// Removes the first waiting task whose payload satisfies `pred` and
     /// returns it.
     ///
-    /// Used for abortion: the process manager pulls a tardy task out of the
-    /// queue it is waiting in. O(n) — abortions are rare relative to
-    /// enqueue/dequeue traffic and queues are short.
+    /// The scan order is deterministic but unspecified; use a predicate
+    /// that matches at most one task (or [`ReadyQueue::remove_key`],
+    /// which is O(1) instead of O(n)).
     pub fn remove_by<F>(&mut self, mut pred: F) -> Option<QueuedTask<T>>
     where
         F: FnMut(&T) -> bool,
     {
-        match self.policy {
-            Policy::Fcfs => {
-                let idx = self.fifo.iter().position(|e| pred(&e.item))?;
-                let entry = self.fifo.remove(idx).expect("index from position");
-                Some(QueuedTask {
-                    deadline: entry.deadline,
-                    service_estimate: entry.service_estimate,
-                    item: entry.item,
-                })
-            }
-            _ => {
-                let mut entries: Vec<HeapEntry<T>> = std::mem::take(&mut self.heap).into_vec();
-                let idx = entries.iter().position(|e| pred(&e.item));
-                let removed = idx.map(|i| entries.swap_remove(i));
-                self.heap = entries.into();
-                removed.map(|entry| QueuedTask {
-                    deadline: entry.deadline,
-                    service_estimate: entry.service_estimate,
-                    item: entry.item,
-                })
-            }
-        }
+        let seq = match self.policy {
+            Policy::Fcfs => self
+                .fifo
+                .iter()
+                .copied()
+                .find(|seq| self.alive.get(seq).is_some_and(|s| pred(&s.item))),
+            _ => self
+                .heap
+                .iter()
+                .map(|e| e.seq)
+                .find(|seq| self.alive.get(seq).is_some_and(|s| pred(&s.item))),
+        }?;
+        let slot = self.detach(seq).expect("scan only visits live slots");
+        self.settle();
+        Some(slot.into_task())
     }
 
     /// Drains the queue, returning the remaining tasks in service order.
@@ -236,12 +346,14 @@ impl<T> ReadyQueue<T> {
         out
     }
 
-    /// Iterates over the waiting tasks' payloads in no particular order.
+    /// Iterates over the waiting tasks' payloads in no particular (but
+    /// deterministic) order.
     pub fn iter_items(&self) -> impl Iterator<Item = &T> {
         self.heap
             .iter()
-            .map(|e| &e.item)
-            .chain(self.fifo.iter().map(|e| &e.item))
+            .map(|e| e.seq)
+            .chain(self.fifo.iter().copied())
+            .filter_map(|seq| self.alive.get(&seq).map(|s| &s.item))
     }
 }
 
@@ -366,6 +478,49 @@ mod tests {
     }
 
     #[test]
+    fn remove_key_pulls_specific_task() {
+        for policy in Policy::ALL {
+            let mut q = ReadyQueue::new(policy);
+            for id in 1..=3u64 {
+                q.push_keyed(id, entry(id as f64, id as f64, id as u32));
+            }
+            let removed = q.remove_key(2).unwrap();
+            assert_eq!(removed.item, 2);
+            assert_eq!(q.len(), 2);
+            assert!(q.remove_key(2).is_none(), "key is gone after removal");
+            let rest: Vec<u32> = q.drain_in_order().into_iter().map(|e| e.item).collect();
+            assert_eq!(rest, vec![1, 3], "policy {policy}");
+        }
+    }
+
+    #[test]
+    fn remove_key_missing_returns_none() {
+        let mut q = ReadyQueue::new(Policy::Edf);
+        q.push_keyed(7, entry(1.0, 1.0, 7));
+        assert!(q.remove_key(8).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn keys_can_be_reused_after_pop_or_removal() {
+        let mut q = ReadyQueue::new(Policy::Edf);
+        q.push_keyed(1, entry(1.0, 1.0, 10));
+        assert_eq!(q.pop().unwrap().item, 10);
+        q.push_keyed(1, entry(2.0, 1.0, 11)); // same key, new incarnation
+        assert_eq!(q.remove_key(1).unwrap().item, 11);
+        q.push_keyed(1, entry(3.0, 1.0, 12));
+        assert_eq!(q.pop().unwrap().item, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate queue key")]
+    fn duplicate_live_key_rejected() {
+        let mut q = ReadyQueue::new(Policy::Edf);
+        q.push_keyed(1, entry(1.0, 1.0, 1));
+        q.push_keyed(1, entry(2.0, 1.0, 2));
+    }
+
+    #[test]
     fn remove_by_missing_returns_none_and_preserves_queue() {
         let mut q = ReadyQueue::new(Policy::Edf);
         q.push(entry(2.0, 1.0, 1));
@@ -376,7 +531,7 @@ mod tests {
     }
 
     #[test]
-    fn remove_by_preserves_edf_order_after_heap_rebuild() {
+    fn remove_by_preserves_edf_order() {
         let mut q = ReadyQueue::new(Policy::Edf);
         for id in 0..50u32 {
             q.push(entry(f64::from(id % 10), 1.0, id));
@@ -391,13 +546,39 @@ mod tests {
     }
 
     #[test]
+    fn removal_storm_keeps_order_and_bounds_memory() {
+        // Remove most of a large queue by key, then check the survivors
+        // still drain in EDF order (stale entries are skipped and the
+        // heap is compacted along the way).
+        let mut q = ReadyQueue::new(Policy::Edf);
+        for id in 0..1000u64 {
+            q.push_keyed(id, entry((id % 97) as f64, 1.0, id as u32));
+        }
+        for id in 0..1000u64 {
+            if id % 5 != 0 {
+                assert!(q.remove_key(id).is_some());
+            }
+        }
+        assert_eq!(q.len(), 200);
+        assert_eq!(q.peek_deadline(), Some(t(0.0)));
+        let drained = q.drain_in_order();
+        assert_eq!(drained.len(), 200);
+        for pair in drained.windows(2) {
+            assert!(pair[0].deadline <= pair[1].deadline);
+        }
+    }
+
+    #[test]
     fn peek_deadline_matches_pop() {
         let mut q = ReadyQueue::new(Policy::Edf);
         assert_eq!(q.peek_deadline(), None);
         q.push(entry(7.0, 1.0, 1));
-        q.push(entry(3.0, 1.0, 2));
+        q.push_keyed(2, entry(3.0, 1.0, 2));
         assert_eq!(q.peek_deadline(), Some(t(3.0)));
-        assert_eq!(q.pop().unwrap().deadline, t(3.0));
+        // Removing the head must re-settle so peek stays truthful.
+        q.remove_key(2);
+        assert_eq!(q.peek_deadline(), Some(t(7.0)));
+        assert_eq!(q.pop().unwrap().deadline, t(7.0));
     }
 
     #[test]
@@ -415,10 +596,12 @@ mod tests {
     fn iter_items_sees_everything() {
         let mut q = ReadyQueue::new(Policy::Edf);
         q.push(entry(1.0, 1.0, 1));
-        q.push(entry(2.0, 1.0, 2));
+        q.push_keyed(9, entry(2.0, 1.0, 2));
+        q.remove_key(9);
+        q.push(entry(3.0, 1.0, 3));
         let mut items: Vec<u32> = q.iter_items().copied().collect();
         items.sort_unstable();
-        assert_eq!(items, vec![1, 2]);
+        assert_eq!(items, vec![1, 3]);
     }
 
     #[test]

@@ -10,6 +10,28 @@ fn tasks_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
     prop::collection::vec((0.0f64..1e4, 0.0f64..100.0), 1..200)
 }
 
+/// Reference model of the ready-queue semantics: the pop order is a
+/// stable sort of the insertion sequence by the policy's rank, which is
+/// exactly what the original eager-removal BinaryHeap implementation
+/// produced. The lazy-deletion rewrite must match it item for item.
+fn reference_order(policy: Policy, tasks: &[(f64, f64)]) -> Vec<usize> {
+    let mut indexed: Vec<(f64, usize)> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, &(dl, svc))| {
+            let rank = match policy {
+                Policy::Edf => dl,
+                Policy::Fcfs => 0.0,
+                Policy::Sjf => svc,
+                Policy::Llf => dl - svc,
+            };
+            (rank, i)
+        })
+        .collect();
+    indexed.sort_by(|a, b| a.0.total_cmp(&b.0)); // stable: ties keep FIFO order
+    indexed.into_iter().map(|(_, i)| i).collect()
+}
+
 proptest! {
     #[test]
     fn edf_drains_in_deadline_order(tasks in tasks_strategy()) {
@@ -92,6 +114,99 @@ proptest! {
             .filter(|&i| i != target)
             .collect();
         prop_assert_eq!(after, reference, "removal must not disturb relative order");
+    }
+
+    #[test]
+    fn pop_order_matches_reference_model_under_every_policy(
+        tasks in tasks_strategy(),
+        policy_idx in 0usize..4,
+    ) {
+        let policy = Policy::ALL[policy_idx];
+        let mut q = ReadyQueue::new(policy);
+        for (i, &(dl, svc)) in tasks.iter().enumerate() {
+            q.push(QueuedTask::new(SimTime::from(dl), svc, i));
+        }
+        let order: Vec<usize> = q.drain_in_order().into_iter().map(|e| e.item).collect();
+        prop_assert_eq!(order, reference_order(policy, &tasks));
+    }
+
+    #[test]
+    fn remove_key_agrees_with_remove_by(
+        tasks in tasks_strategy(),
+        removals in prop::collection::vec(0usize..200, 0..50),
+        policy_idx in 0usize..4,
+    ) {
+        let policy = Policy::ALL[policy_idx];
+        let fill = || {
+            let mut q = ReadyQueue::new(policy);
+            for (i, &(dl, svc)) in tasks.iter().enumerate() {
+                q.push_keyed(i as u64, QueuedTask::new(SimTime::from(dl), svc, i));
+            }
+            q
+        };
+        let mut keyed = fill();
+        let mut scanned = fill();
+        for &r in &removals {
+            let target = r % tasks.len();
+            let a = keyed.remove_key(target as u64).map(|e| e.item);
+            let b = scanned.remove_by(|&id| id == target).map(|e| e.item);
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(keyed.len(), scanned.len());
+            prop_assert_eq!(keyed.peek_deadline(), scanned.peek_deadline());
+        }
+        let ka: Vec<usize> = keyed.drain_in_order().into_iter().map(|e| e.item).collect();
+        let kb: Vec<usize> = scanned.drain_in_order().into_iter().map(|e| e.item).collect();
+        prop_assert_eq!(ka, kb, "keyed and predicate removal must leave the same order");
+    }
+
+    #[test]
+    fn keyed_removals_leave_reference_pop_order(
+        tasks in tasks_strategy(),
+        removals in prop::collection::vec(0usize..200, 0..100),
+        policy_idx in 0usize..4,
+    ) {
+        let policy = Policy::ALL[policy_idx];
+        let mut q = ReadyQueue::new(policy);
+        for (i, &(dl, svc)) in tasks.iter().enumerate() {
+            q.push_keyed(i as u64, QueuedTask::new(SimTime::from(dl), svc, i));
+        }
+        let mut gone = std::collections::HashSet::new();
+        for &r in &removals {
+            let target = r % tasks.len();
+            if q.remove_key(target as u64).is_some() {
+                gone.insert(target);
+            }
+        }
+        let order: Vec<usize> = q.drain_in_order().into_iter().map(|e| e.item).collect();
+        let expected: Vec<usize> = reference_order(policy, &tasks)
+            .into_iter()
+            .filter(|i| !gone.contains(i))
+            .collect();
+        prop_assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn edf_pop_order_is_deadline_monotone_with_interleaved_ops(
+        tasks in tasks_strategy(),
+        pop_every in 2usize..6,
+    ) {
+        // Interleave pushes with pops: already-popped deadlines never
+        // exceed a later pop *of an element that was present at the time*,
+        // so here we just check each drain segment is internally monotone
+        // and ≥ the queue minimum at pop time.
+        let mut q = ReadyQueue::new(Policy::Edf);
+        for (i, &(dl, svc)) in tasks.iter().enumerate() {
+            q.push(QueuedTask::new(SimTime::from(dl), svc, i));
+            if i % pop_every == 0 {
+                let head = q.peek_deadline().unwrap();
+                let popped = q.pop().unwrap();
+                prop_assert_eq!(popped.deadline, head);
+            }
+        }
+        let drained = q.drain_in_order();
+        for pair in drained.windows(2) {
+            prop_assert!(pair[0].deadline <= pair[1].deadline);
+        }
     }
 
     #[test]

@@ -541,280 +541,3 @@ impl fmt::Display for ConfigError {
 }
 
 impl std::error::Error for ConfigError {}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn baseline_matches_table1() {
-        let cfg = SimConfig::baseline();
-        assert_eq!(cfg.nodes, 6);
-        assert_eq!(cfg.load, 0.5);
-        assert_eq!(cfg.frac_local, 0.75);
-        assert_eq!(cfg.mu_local, 1.0);
-        assert_eq!(cfg.mu_subtask, 1.0);
-        assert_eq!(cfg.local_slack, Uniform::new(1.25, 5.0));
-        assert_eq!(cfg.shape, GlobalShape::ParallelFixed { n: 4 });
-        assert_eq!(cfg.scheduler, Policy::Edf);
-        assert_eq!(cfg.abort, AbortPolicy::None);
-        assert!(cfg.validate().is_ok());
-    }
-
-    #[test]
-    fn rate_derivation_satisfies_load_identity() {
-        for load in [0.1, 0.5, 0.9] {
-            for frac in [0.0, 0.25, 0.75, 1.0] {
-                let cfg = SimConfig {
-                    load,
-                    frac_local: frac,
-                    ..SimConfig::baseline()
-                };
-                assert!(
-                    (cfg.offered_load() - load).abs() < 1e-12,
-                    "load {load} frac {frac}: offered {}",
-                    cfg.offered_load()
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn baseline_rates_hand_check() {
-        // k=6, load=0.5, frac=0.75, n=4, mu=1:
-        // lambda_local = 0.375 per node; lambda_global = 0.125*6/4 = 0.1875.
-        let cfg = SimConfig::baseline();
-        assert!((cfg.lambda_local() - 0.375).abs() < 1e-12);
-        assert!((cfg.lambda_global() - 0.1875).abs() < 1e-12);
-    }
-
-    #[test]
-    fn section8_config() {
-        let cfg = SimConfig::section8();
-        assert_eq!(cfg.shape, GlobalShape::figure14());
-        assert_eq!(cfg.global_slack, Uniform::new(6.25, 25.0));
-        assert!(cfg.validate().is_ok());
-        // 11 leaves per global: lambda_global = 0.125 * 6 / 11.
-        assert!((cfg.lambda_global() - 0.75 / 11.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn shape_mean_leaf_counts() {
-        assert_eq!(GlobalShape::ParallelFixed { n: 4 }.mean_leaf_count(), 4.0);
-        assert_eq!(
-            GlobalShape::ParallelUniform { lo: 2, hi: 6 }.mean_leaf_count(),
-            4.0
-        );
-        assert_eq!(GlobalShape::figure14().mean_leaf_count(), 11.0);
-        assert_eq!(GlobalShape::figure14().max_fanout(), 4);
-    }
-
-    #[test]
-    fn validation_rejects_bad_configs() {
-        let base = SimConfig::baseline();
-        assert_eq!(
-            SimConfig {
-                nodes: 0,
-                ..base.clone()
-            }
-            .validate(),
-            Err(ConfigError::NoNodes)
-        );
-        assert_eq!(
-            base.clone().with_load(1.0).validate(),
-            Err(ConfigError::BadLoad(1.0))
-        );
-        assert_eq!(
-            SimConfig {
-                frac_local: 1.5,
-                ..base.clone()
-            }
-            .validate(),
-            Err(ConfigError::BadFracLocal(1.5))
-        );
-        assert_eq!(
-            SimConfig {
-                mu_local: 0.0,
-                ..base.clone()
-            }
-            .validate(),
-            Err(ConfigError::BadServiceRate)
-        );
-        assert!(matches!(
-            SimConfig {
-                warmup: 1e9,
-                ..base.clone()
-            }
-            .validate(),
-            Err(ConfigError::BadHorizon { .. })
-        ));
-        assert_eq!(
-            SimConfig {
-                shape: GlobalShape::ParallelFixed { n: 0 },
-                ..base.clone()
-            }
-            .validate(),
-            Err(ConfigError::EmptyShape)
-        );
-        assert_eq!(
-            SimConfig {
-                shape: GlobalShape::ParallelFixed { n: 7 },
-                ..base.clone()
-            }
-            .validate(),
-            Err(ConfigError::FanoutExceedsNodes {
-                fanout: 7,
-                nodes: 6
-            })
-        );
-        // ...but a wide shape is fine when there are no globals at all.
-        assert!(SimConfig {
-            shape: GlobalShape::ParallelFixed { n: 7 },
-            frac_local: 1.0,
-            ..base
-        }
-        .validate()
-        .is_ok());
-    }
-
-    #[test]
-    fn preemption_requires_edf() {
-        let cfg = SimConfig {
-            preemptive: true,
-            scheduler: Policy::Fcfs,
-            ..SimConfig::baseline()
-        };
-        assert_eq!(
-            cfg.validate(),
-            Err(ConfigError::PreemptionNeedsEdf(Policy::Fcfs))
-        );
-        let ok = SimConfig {
-            preemptive: true,
-            ..SimConfig::baseline()
-        };
-        assert!(ok.validate().is_ok());
-    }
-
-    #[test]
-    fn node_speeds_validation() {
-        let base = SimConfig::baseline();
-        let wrong_len = SimConfig {
-            node_speeds: vec![1.0; 3],
-            ..base.clone()
-        };
-        assert!(matches!(
-            wrong_len.validate(),
-            Err(ConfigError::BadNodeSpeeds(_))
-        ));
-        let negative = SimConfig {
-            node_speeds: vec![1.0, 1.0, 1.0, 1.0, 1.0, -1.0],
-            ..base.clone()
-        };
-        assert!(matches!(
-            negative.validate(),
-            Err(ConfigError::BadNodeSpeeds(_))
-        ));
-        let ok = SimConfig {
-            node_speeds: vec![2.0, 2.0, 1.0, 1.0, 0.5, 0.5],
-            ..base
-        };
-        assert!(ok.validate().is_ok());
-        assert_eq!(ok.capacity(), 7.0);
-    }
-
-    #[test]
-    fn per_node_load_matches_system_load_when_homogeneous() {
-        let cfg = SimConfig::baseline().with_load(0.7);
-        for node in 0..cfg.nodes {
-            assert!((cfg.per_node_load(node) - 0.7).abs() < 1e-12);
-        }
-    }
-
-    #[test]
-    fn saturated_slow_node_is_rejected() {
-        // The A6 pitfall: a 0.25-speed node carries its 1/k share of
-        // global work at 4x cost. At high enough load it saturates even
-        // though the system load is < 1.
-        let cfg = SimConfig {
-            node_speeds: vec![1.75, 1.75, 1.75, 0.25, 0.25, 0.25],
-            ..SimConfig::baseline().with_load(0.7)
-        };
-        // slow node: locals 0.75*0.7 + globals (0.25*0.7*6/6)/0.25 = 1.225
-        assert!(cfg.per_node_load(3) >= 1.0);
-        assert!(matches!(
-            cfg.validate(),
-            Err(ConfigError::NodeSaturated { node: 3, .. })
-        ));
-        // The same split at load 0.5 is stable and accepted.
-        let ok = SimConfig {
-            node_speeds: vec![1.75, 1.75, 1.75, 0.25, 0.25, 0.25],
-            ..SimConfig::baseline()
-        };
-        assert!(ok.per_node_load(3) < 1.0);
-        assert!(ok.validate().is_ok());
-    }
-
-    #[test]
-    fn heterogeneous_speeds_preserve_load_identity() {
-        let cfg = SimConfig {
-            node_speeds: vec![2.0, 2.0, 1.0, 1.0, 0.5, 0.5],
-            ..SimConfig::baseline()
-        };
-        assert!((cfg.offered_load() - 0.5).abs() < 1e-12);
-        // Local arrivals are speed-proportional: a 2x node generates 2x
-        // the locals of a speed-1 node, so its *local* load is the same.
-        assert_eq!(cfg.lambda_local_at(0), 2.0 * cfg.lambda_local());
-        assert_eq!(cfg.lambda_local_at(2), cfg.lambda_local());
-        assert_eq!(cfg.lambda_local_at(5), 0.5 * cfg.lambda_local());
-        // Homogeneous systems reduce to the §5 formula.
-        let base = SimConfig::baseline();
-        assert_eq!(base.lambda_local_at(3), base.lambda_local());
-    }
-
-    #[test]
-    fn service_shapes_have_the_requested_mean() {
-        use sda_simcore::dist::Sample;
-        for shape in [
-            ServiceShape::Exponential,
-            ServiceShape::Deterministic,
-            ServiceShape::UniformSpread,
-        ] {
-            let d = shape.dist(2.0);
-            assert!((d.mean() - 2.0).abs() < 1e-12, "{shape:?}");
-        }
-        assert_eq!(ServiceShape::default(), ServiceShape::Exponential);
-    }
-
-    #[test]
-    #[should_panic(expected = "finite and positive")]
-    fn service_shape_rejects_zero_mean() {
-        ServiceShape::Deterministic.dist(0.0);
-    }
-
-    #[test]
-    fn builder_helpers() {
-        let cfg = SimConfig::baseline()
-            .with_load(0.7)
-            .with_strategy(SdaStrategy::eqf_div1())
-            .with_duration(1_000_000.0);
-        assert_eq!(cfg.load, 0.7);
-        assert_eq!(cfg.strategy, SdaStrategy::eqf_div1());
-        assert_eq!(cfg.duration, 1_000_000.0);
-    }
-
-    #[test]
-    fn error_display() {
-        assert_eq!(
-            ConfigError::FanoutExceedsNodes {
-                fanout: 8,
-                nodes: 6
-            }
-            .to_string(),
-            "parallel fan-out 8 exceeds node count 6"
-        );
-        assert_eq!(
-            ConfigError::NoNodes.to_string(),
-            "node count must be positive"
-        );
-    }
-}

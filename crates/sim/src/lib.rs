@@ -8,6 +8,17 @@
 //! the paper reports (per-class missed-deadline fractions, fraction of
 //! missed work, response times).
 //!
+//! The crate is layered (one module per box in the paper's Figure 2):
+//!
+//! | module | role |
+//! |---|---|
+//! | [`workload`](crate::Simulation) (private) | Poisson sources, draws, burst thinning, placement |
+//! | `node` (private) | one local server: ready queue, job in service, per-node stats |
+//! | `pm` (private) | the process manager's slot table of in-flight global tasks |
+//! | [`Simulation`] | the orchestration tying the layers together over the engine |
+//! | [`trace`] | the structured [`trace::TraceSink`] observability pipeline |
+//! | [`runner`] | replications, parallel execution, adaptive stopping, stats |
+//!
 //! ```
 //! use sda_core::SdaStrategy;
 //! use sda_sim::{Runner, SimConfig, StopRule};
@@ -29,15 +40,23 @@
 
 mod config;
 mod metrics;
+mod node;
+mod pm;
 pub mod runner;
-mod sim;
+mod simulation;
+pub mod trace;
+mod workload;
 
 pub use config::{
     AbortPolicy, Burst, ConfigError, GlobalShape, Placement, ResubmitPolicy, ServiceShape,
     SimConfig,
 };
 pub use metrics::Metrics;
-#[allow(deprecated)]
-pub use runner::{replicate, run, run_batch_means, BatchMeansResult};
-pub use runner::{seeds, BatchEstimates, MultiRun, RunResult, Runner, StatsReport, StopRule};
-pub use sim::{Ev, Simulation, TraceEvent, TraceFn};
+pub use runner::{
+    seeds, BatchEstimates, MultiRun, NodeSummary, RunResult, Runner, StatsReport, StopRule,
+};
+pub use simulation::{Ev, Simulation};
+pub use trace::{
+    parse_jsonl, CountingHandle, CountingSink, FanoutSink, JsonlSink, NoopSink, RingBufferHandle,
+    RingBufferSink, SharedSink, TraceCounts, TraceEvent, TraceRecord, TraceSink,
+};

@@ -1,0 +1,177 @@
+//! The process-manager layer: the state of every in-flight global task —
+//! its decomposition, virtual deadlines, precedence progress, and §7.3
+//! abortion bookkeeping.
+//!
+//! The [`ProcessManager`] is a pure state machine over a slot table of
+//! [`GlobalInstance`]s; it never touches the engine or the nodes. The
+//! orchestration (what to do when a leaf completes or a timer fires)
+//! stays in [`crate::Simulation`], which is the only writer.
+
+use sda_core::Decomposition;
+use sda_simcore::{EventHandle, SimTime};
+
+/// Lifecycle of one simple subtask within a global task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LeafState {
+    /// Precedence not yet satisfied.
+    Unreleased,
+    /// Waiting in its node's ready queue.
+    Queued,
+    /// Being served.
+    InService,
+    /// Completed.
+    Done,
+    /// Aborted and never completed.
+    Failed,
+}
+
+/// One in-flight global task.
+#[derive(Debug)]
+pub(crate) struct GlobalInstance {
+    pub ar: SimTime,
+    /// Real end-to-end deadline (Equation 2 / its serial-parallel
+    /// generalization).
+    pub dl: SimTime,
+    pub decomp: Decomposition,
+    pub leaf_node: Vec<usize>,
+    pub leaf_ex: Vec<f64>,
+    pub leaf_pex: Vec<f64>,
+    pub leaf_state: Vec<LeafState>,
+    /// Job id of each leaf's current incarnation (set at submission;
+    /// resubmission allocates a fresh id). Keys the O(1) targeted
+    /// removal from ready queues during teardown.
+    pub leaf_job: Vec<u64>,
+    pub leaf_resubmitted: Vec<bool>,
+    /// Work performed so far (including partial work on aborted service).
+    pub work_done: f64,
+    pub pm_timer: Option<EventHandle>,
+    pub counted: bool,
+}
+
+impl GlobalInstance {
+    /// Number of leaves (simple subtasks).
+    pub fn leaves(&self) -> usize {
+        self.leaf_state.len()
+    }
+}
+
+/// The slot table of in-flight global tasks. Slots are recycled after
+/// completion/abortion, so trace slot numbers identify a task only while
+/// it is alive.
+#[derive(Debug, Default)]
+pub(crate) struct ProcessManager {
+    globals: Vec<Option<GlobalInstance>>,
+    free_slots: Vec<usize>,
+}
+
+impl ProcessManager {
+    pub fn new() -> ProcessManager {
+        ProcessManager::default()
+    }
+
+    /// Claims a slot for a new global task (recycling a freed one).
+    pub fn alloc_slot(&mut self) -> usize {
+        match self.free_slots.pop() {
+            Some(slot) => slot,
+            None => {
+                self.globals.push(None);
+                self.globals.len() - 1
+            }
+        }
+    }
+
+    /// Installs `g` into `slot` (claimed via
+    /// [`ProcessManager::alloc_slot`]).
+    pub fn install(&mut self, slot: usize, g: GlobalInstance) {
+        debug_assert!(self.globals[slot].is_none(), "slot must be free");
+        self.globals[slot] = Some(g);
+    }
+
+    /// The live task in `slot`, if any (a stale timer can fire for a
+    /// slot that completed at the same instant).
+    pub fn get_mut(&mut self, slot: usize) -> Option<&mut GlobalInstance> {
+        self.globals.get_mut(slot).and_then(Option::as_mut)
+    }
+
+    /// Whether `slot` currently holds a live task.
+    pub fn is_live(&self, slot: usize) -> bool {
+        self.globals.get(slot).is_some_and(Option::is_some)
+    }
+
+    /// Removes the task in `slot` and recycles the slot.
+    pub fn finish(&mut self, slot: usize) -> GlobalInstance {
+        let g = self.globals[slot].take().expect("live global");
+        self.free_slots.push(slot);
+        g
+    }
+
+    /// Number of global tasks currently in flight.
+    pub fn active(&self) -> usize {
+        self.globals.iter().filter(|g| g.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sda_core::SdaStrategy;
+    use sda_model::TaskSpec;
+
+    fn instance(n: usize) -> GlobalInstance {
+        let spec = TaskSpec::parallel_simple(n);
+        GlobalInstance {
+            ar: SimTime::ZERO,
+            dl: SimTime::from(10.0),
+            decomp: Decomposition::new(&spec, vec![1.0; n]),
+            leaf_node: (0..n).collect(),
+            leaf_ex: vec![1.0; n],
+            leaf_pex: vec![1.0; n],
+            leaf_state: vec![LeafState::Unreleased; n],
+            leaf_job: vec![0; n],
+            leaf_resubmitted: vec![false; n],
+            work_done: 0.0,
+            pm_timer: None,
+            counted: true,
+        }
+    }
+
+    #[test]
+    fn slots_are_recycled_lifo() {
+        let mut pm = ProcessManager::new();
+        let a = pm.alloc_slot();
+        pm.install(a, instance(2));
+        let b = pm.alloc_slot();
+        pm.install(b, instance(2));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(pm.active(), 2);
+        assert!(pm.is_live(a));
+        let g = pm.finish(a);
+        assert_eq!(g.leaves(), 2);
+        assert!(!pm.is_live(a));
+        assert_eq!(pm.active(), 1);
+        assert_eq!(pm.alloc_slot(), a, "freed slot reused first");
+    }
+
+    #[test]
+    fn get_mut_is_none_for_free_or_unknown_slots() {
+        let mut pm = ProcessManager::new();
+        assert!(pm.get_mut(0).is_none());
+        let s = pm.alloc_slot();
+        assert!(pm.get_mut(s).is_none(), "allocated but not installed");
+        pm.install(s, instance(3));
+        assert!(pm.get_mut(s).is_some());
+        pm.finish(s);
+        assert!(pm.get_mut(s).is_none());
+    }
+
+    #[test]
+    fn first_release_of_a_parallel_task_frees_all_leaves() {
+        // Sanity-check the decomposition the PM stores: a parallel task
+        // releases every leaf at arrival.
+        let mut g = instance(3);
+        let releases = g
+            .decomp
+            .start(SimTime::ZERO, SimTime::from(10.0), &SdaStrategy::ud_ud());
+        assert_eq!(releases.len(), 3);
+    }
+}

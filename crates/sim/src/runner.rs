@@ -18,6 +18,11 @@
 //! output of [`Runner::execute`] is **bit-identical** for `jobs = 1` and
 //! `jobs = N`. Parallelism changes only the wall-clock time.
 //!
+//! The same holds for tracing: a sink attached with [`Runner::trace`]
+//! observes replication 0 only (which always runs with
+//! [`derive_seed`]`(b, 0)`), so a trace file is byte-identical at any
+//! `jobs` level.
+//!
 //! ```
 //! use sda_sim::{Runner, SimConfig, StopRule};
 //! let cfg = SimConfig { duration: 2_000.0, warmup: 100.0, ..SimConfig::baseline() };
@@ -34,12 +39,13 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use sda_simcore::rng::{derive_seed, derive_seeds};
-use sda_simcore::stats::{Estimate, Replications, Summary};
+use sda_simcore::stats::{Estimate, NodeStats, Replications, Summary};
 use sda_simcore::{Engine, SimTime};
 
 use crate::config::{ConfigError, SimConfig};
 use crate::metrics::Metrics;
-use crate::sim::Simulation;
+use crate::simulation::Simulation;
+use crate::trace::{FanoutSink, SharedSink, TraceEvent};
 
 /// The outcome of one simulation run.
 #[derive(Debug, Clone)]
@@ -48,10 +54,14 @@ pub struct RunResult {
     pub metrics: Metrics,
     /// Events processed by the engine.
     pub events: u64,
-    /// Per-node busy time.
+    /// Per-node busy time (derived from `node_stats`; kept for direct
+    /// access).
     pub busy: Vec<f64>,
     /// Per-node time-weighted mean ready-queue length (waiting tasks).
     pub mean_queue_len: Vec<f64>,
+    /// Per-node statistics: busy time, services, local misses, queue
+    /// length.
+    pub node_stats: Vec<NodeStats>,
     /// The simulated horizon (the configured duration).
     pub duration: f64,
     /// The seed the run used.
@@ -109,6 +119,7 @@ pub struct Runner {
     stop: StopRule,
     min_reps: usize,
     max_reps: usize,
+    trace: Option<SharedSink>,
 }
 
 impl Runner {
@@ -123,6 +134,7 @@ impl Runner {
             stop: StopRule::FixedReps(2),
             min_reps: DEFAULT_MIN_REPS,
             max_reps: DEFAULT_MAX_REPS,
+            trace: None,
         }
     }
 
@@ -134,9 +146,8 @@ impl Runner {
     }
 
     /// Supplies explicit per-replication seeds instead of the derived
-    /// stream (common-random-numbers workflows; the deprecated
-    /// [`replicate`] shim). Caps the replication count at
-    /// `seeds.len()`.
+    /// stream (common-random-numbers workflows). Caps the replication
+    /// count at `seeds.len()`.
     pub fn with_seeds(mut self, seeds: Vec<u64>) -> Runner {
         self.explicit_seeds = Some(seeds);
         self
@@ -170,6 +181,15 @@ impl Runner {
         self
     }
 
+    /// Attaches a trace sink to **replication 0 only** (the one seeded
+    /// with [`derive_seed`]`(base, 0)`), so traced output is independent
+    /// of the `jobs` level and of how many replications follow. The sink
+    /// is flushed when that replication finishes.
+    pub fn trace(mut self, sink: SharedSink) -> Runner {
+        self.trace = Some(sink);
+        self
+    }
+
     /// The seed of replication `index` under this runner's seed source.
     fn seed_of(&self, index: usize) -> u64 {
         match &self.explicit_seeds {
@@ -183,6 +203,15 @@ impl Runner {
         match &self.explicit_seeds {
             Some(list) => want.min(list.len()),
             None => want,
+        }
+    }
+
+    /// The trace sink for replication `index`, if any.
+    fn trace_for(&self, index: usize) -> Option<SharedSink> {
+        if index == 0 {
+            self.trace.clone()
+        } else {
+            None
         }
     }
 
@@ -236,7 +265,8 @@ impl Runner {
             }
             StopRule::BatchMeans { batch_size } => {
                 let seed = self.seed_of(0);
-                let (run, batch) = run_batch_means_impl(&self.cfg, seed, batch_size)?;
+                let (run, batch) =
+                    run_batch_means_impl(&self.cfg, seed, batch_size, self.trace_for(0))?;
                 Ok(MultiRun {
                     runs: vec![run],
                     batch: Some(batch),
@@ -252,7 +282,8 @@ impl Runner {
         if jobs == 1 {
             return (first..first + count)
                 .map(|i| {
-                    run_single(&self.cfg, self.seed_of(i)).expect("config validated in execute")
+                    run_single(&self.cfg, self.seed_of(i), self.trace_for(i))
+                        .expect("config validated in execute")
                 })
                 .collect();
         }
@@ -270,8 +301,12 @@ impl Runner {
                                 return out;
                             }
                             let index = first + offset;
-                            let result = run_single(&runner.cfg, runner.seed_of(index))
-                                .expect("config validated in execute");
+                            let result = run_single(
+                                &runner.cfg,
+                                runner.seed_of(index),
+                                runner.trace_for(index),
+                            )
+                            .expect("config validated in execute");
                             out.push((index, result));
                         }
                     })
@@ -301,22 +336,37 @@ fn ci_converged(runs: &[RunResult], target: f64) -> bool {
         })
 }
 
-/// Runs one simulation to its configured duration (internal,
-/// non-deprecated body shared by [`Runner`] and the [`run`] shim).
-fn run_single(cfg: &SimConfig, seed: u64) -> Result<RunResult, ConfigError> {
+/// Runs one simulation to its configured duration, optionally feeding a
+/// trace sink (flushed at the end of the run).
+fn run_single(
+    cfg: &SimConfig,
+    seed: u64,
+    trace: Option<SharedSink>,
+) -> Result<RunResult, ConfigError> {
     let mut sim = Simulation::new(cfg.clone(), seed)?;
+    if let Some(sink) = trace {
+        sim.set_sink(Box::new(sink));
+    }
     let mut engine = Engine::new();
     sim.prime(&mut engine);
     engine.run_until(&mut sim, SimTime::from(cfg.duration));
+    if let Some(mut sink) = sim.take_sink() {
+        sink.flush();
+    }
     let events = engine.events_processed();
     let duration = cfg.duration;
-    let mean_queue_len = sim.mean_queue_lengths(SimTime::from(duration));
-    let (metrics, busy) = sim.into_results();
+    let (metrics, node_stats) = sim.into_results();
+    let busy = node_stats.iter().map(|s| s.busy()).collect();
+    let mean_queue_len = node_stats
+        .iter()
+        .map(|s| s.mean_queue_len(SimTime::from(duration)))
+        .collect();
     Ok(RunResult {
         metrics,
         events,
         busy,
         mean_queue_len,
+        node_stats,
         duration,
         seed,
     })
@@ -333,12 +383,14 @@ pub struct BatchEstimates {
     pub batches: (usize, usize),
 }
 
-/// Body of the batch-means mode: one run with a trace hook cutting
-/// post-warm-up miss indicators into contiguous batches.
+/// Body of the batch-means mode: one run with an internal trace sink
+/// cutting post-warm-up miss indicators into contiguous batches. A user
+/// trace sink, if any, rides along via a fan-out.
 fn run_batch_means_impl(
     cfg: &SimConfig,
     seed: u64,
     batch_size: u64,
+    trace: Option<SharedSink>,
 ) -> Result<(RunResult, BatchEstimates), ConfigError> {
     use sda_simcore::stats::BatchMeans;
     use std::sync::{Arc, Mutex};
@@ -348,39 +400,55 @@ fn run_batch_means_impl(
         BatchMeans::new(batch_size),
         BatchMeans::new(batch_size),
     )));
-    let sink = Arc::clone(&acc);
+    let batches = Arc::clone(&acc);
     let warmup = cfg.warmup;
-    sim.set_trace(Box::new(move |now, ev| {
+    let batcher = move |now: SimTime, ev: &TraceEvent| {
         if now.value() < warmup {
             return;
         }
-        let mut acc = sink.lock().expect("trace sink");
+        let mut acc = batches.lock().expect("batch accumulator");
         match ev {
-            crate::sim::TraceEvent::LocalFinished { missed, .. } => {
+            TraceEvent::LocalFinished { missed, .. } => {
                 acc.0.push(if *missed { 1.0 } else { 0.0 });
             }
-            crate::sim::TraceEvent::GlobalFinished { missed, .. } => {
+            TraceEvent::GlobalFinished { missed, .. } => {
                 acc.1.push(if *missed { 1.0 } else { 0.0 });
             }
             _ => {}
         }
-    }));
+    };
+    match trace {
+        Some(user) => sim.set_sink(Box::new(FanoutSink::new(vec![
+            Box::new(batcher),
+            Box::new(user),
+        ]))),
+        None => sim.set_sink(Box::new(batcher)),
+    }
     let mut engine = Engine::new();
     sim.prime(&mut engine);
     engine.run_until(&mut sim, SimTime::from(cfg.duration));
+    if let Some(mut sink) = sim.take_sink() {
+        sink.flush();
+    }
     let events = engine.events_processed();
-    let mean_queue_len = sim.mean_queue_lengths(SimTime::from(cfg.duration));
-    let (metrics, busy) = sim.into_results();
+    let duration = cfg.duration;
+    let (metrics, node_stats) = sim.into_results();
+    let busy = node_stats.iter().map(|s| s.busy()).collect();
+    let mean_queue_len = node_stats
+        .iter()
+        .map(|s| s.mean_queue_len(SimTime::from(duration)))
+        .collect();
     let run = RunResult {
         metrics,
         events,
         busy,
         mean_queue_len,
-        duration: cfg.duration,
+        node_stats,
+        duration,
         seed,
     };
     let acc = Arc::try_unwrap(acc)
-        .expect("trace closure dropped with the simulation")
+        .expect("batch closure dropped with the sink")
         .into_inner()
         .expect("sink lock");
     let batch = BatchEstimates {
@@ -391,41 +459,6 @@ fn run_batch_means_impl(
     Ok((run, batch))
 }
 
-/// Runs one simulation to its configured duration.
-///
-/// # Errors
-///
-/// Returns the configuration's validation error, if any.
-#[deprecated(note = "use Runner")]
-pub fn run(cfg: &SimConfig, seed: u64) -> Result<RunResult, ConfigError> {
-    let multi = Runner::new(cfg.clone())
-        .with_seeds(vec![seed])
-        .jobs(1)
-        .stop(StopRule::FixedReps(1))
-        .execute()?;
-    Ok(multi.runs.into_iter().next().expect("one replication"))
-}
-
-/// Independent replications of one configuration, one per seed, run on
-/// parallel threads.
-///
-/// # Errors
-///
-/// Returns a validation error before starting any run; runs themselves
-/// cannot fail.
-///
-/// # Panics
-///
-/// Panics if `seeds` is empty or a worker thread panics.
-#[deprecated(note = "use Runner")]
-pub fn replicate(cfg: &SimConfig, seeds: &[u64]) -> Result<MultiRun, ConfigError> {
-    assert!(!seeds.is_empty(), "need at least one seed");
-    Runner::new(cfg.clone())
-        .with_seeds(seeds.to_vec())
-        .stop(StopRule::FixedReps(seeds.len()))
-        .execute()
-}
-
 /// The default seed set for an experiment data point: `count` seeds
 /// derived from a base seed via the SplitMix64 stream (the paper used
 /// 2 runs per point).
@@ -433,45 +466,6 @@ pub fn replicate(cfg: &SimConfig, seeds: &[u64]) -> Result<MultiRun, ConfigError
 /// Equivalent to [`derive_seeds`]; stable across releases.
 pub fn seeds(base: u64, count: usize) -> Vec<u64> {
     derive_seeds(base, count)
-}
-
-/// Single-run confidence intervals by the method of batch means.
-#[derive(Debug, Clone)]
-pub struct BatchMeansResult {
-    /// The underlying run.
-    pub run: RunResult,
-    /// `MD_local` with a 95% CI from batches of local-task outcomes.
-    pub md_local: Estimate,
-    /// `MD_global` with a 95% CI from batches of global-task outcomes.
-    pub md_global: Estimate,
-    /// Completed batches backing each interval (locals, globals).
-    pub batches: (usize, usize),
-}
-
-/// Runs one simulation and derives 95% confidence intervals from a
-/// *single* run by the method of batch means.
-///
-/// # Errors
-///
-/// Returns the configuration's validation error, if any.
-#[deprecated(note = "use Runner")]
-pub fn run_batch_means(
-    cfg: &SimConfig,
-    seed: u64,
-    batch_size: u64,
-) -> Result<BatchMeansResult, ConfigError> {
-    let multi = Runner::new(cfg.clone())
-        .with_seeds(vec![seed])
-        .stop(StopRule::BatchMeans { batch_size })
-        .execute()?;
-    let batch = multi.batch.expect("batch-means mode records estimates");
-    let run = multi.runs.into_iter().next().expect("one replication");
-    Ok(BatchMeansResult {
-        run,
-        md_local: batch.md_local,
-        md_global: batch.md_global,
-        batches: batch.batches,
-    })
 }
 
 /// A set of replications of the same configuration, with per-metric
@@ -564,8 +558,17 @@ impl MultiRun {
     }
 
     /// The per-metric descriptive statistics of this run set — the
-    /// content of a `stats.json` file.
+    /// content of a `stats.json` file — including a per-node section.
     pub fn stats(&self) -> StatsReport {
+        let nodes = self.runs.first().map_or(0, |r| r.node_stats.len());
+        let per_node = (0..nodes)
+            .map(|i| NodeSummary {
+                node: i,
+                utilization: self.summary_of(|r| r.node_stats[i].utilization(r.duration)),
+                mean_queue_len: self.summary_of(|r| r.mean_queue_len[i]),
+                local_miss_rate: self.summary_of(|r| r.node_stats[i].local_miss_rate()),
+            })
+            .collect();
         StatsReport {
             entries: vec![
                 ("md_local", self.summary_of(|r| r.metrics.md_local())),
@@ -577,23 +580,46 @@ impl MultiRun {
                 ),
                 ("utilization", self.summary_of(RunResult::utilization)),
             ],
+            per_node,
         }
     }
+}
+
+/// Per-node descriptive statistics across replications, one entry per
+/// node in the `per_node` array of `stats.json`.
+#[derive(Debug, Clone)]
+pub struct NodeSummary {
+    /// Node index.
+    pub node: usize,
+    /// Utilization (busy time / duration) across replications.
+    pub utilization: Summary,
+    /// Time-weighted mean ready-queue length across replications.
+    pub mean_queue_len: Summary,
+    /// Local-task miss rate at this node across replications.
+    pub local_miss_rate: Summary,
 }
 
 /// Per-metric descriptive statistics for one run point, rendered as
 /// `stats.json`: a JSON object mapping each metric name to
 /// `{"mean", "stddev", "stderr", "min", "max", "samples",
-/// "confidence_interval_95": [lo, hi], "ci_width_ratio"}`.
+/// "confidence_interval_95": [lo, hi], "ci_width_ratio"}`, plus a
+/// `per_node` array with each node's utilization, mean queue length,
+/// and local miss rate.
 #[derive(Debug, Clone)]
 pub struct StatsReport {
     entries: Vec<(&'static str, Summary)>,
+    per_node: Vec<NodeSummary>,
 }
 
 impl StatsReport {
     /// The metrics in report order.
     pub fn entries(&self) -> &[(&'static str, Summary)] {
         &self.entries
+    }
+
+    /// The per-node section (one entry per node).
+    pub fn per_node(&self) -> &[NodeSummary] {
+        &self.per_node
     }
 
     /// Looks up one metric's summary by name.
@@ -607,284 +633,21 @@ impl StatsReport {
     /// Renders the report as a `stats.json` document.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        for (i, (name, summary)) in self.entries.iter().enumerate() {
-            out.push_str(&format!("  \"{name}\": {}", summary.to_json()));
-            out.push_str(if i + 1 < self.entries.len() {
-                ",\n"
-            } else {
-                "\n"
-            });
+        for (name, summary) in self.entries.iter() {
+            out.push_str(&format!("  \"{name}\": {},\n", summary.to_json()));
         }
-        out.push('}');
+        out.push_str("  \"per_node\": [\n");
+        for (i, n) in self.per_node.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"node\": {}, \"utilization\": {}, \"mean_queue_len\": {}, \"local_miss_rate\": {}}}{}\n",
+                n.node,
+                n.utilization.to_json(),
+                n.mean_queue_len.to_json(),
+                n.local_miss_rate.to_json(),
+                if i + 1 < self.per_node.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}");
         out
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn quick() -> SimConfig {
-        SimConfig {
-            duration: 3_000.0,
-            warmup: 100.0,
-            ..SimConfig::baseline()
-        }
-    }
-
-    #[test]
-    fn runner_fixed_reps_produces_results() {
-        let multi = Runner::new(quick())
-            .seed(5)
-            .stop(StopRule::FixedReps(2))
-            .execute()
-            .unwrap();
-        assert_eq!(multi.runs().len(), 2);
-        let r = &multi.runs()[0];
-        assert!(r.events > 10_000);
-        assert_eq!(r.busy.len(), 6);
-        assert!(r.metrics.local_count() > 1_000);
-        assert!((r.utilization() - 0.5).abs() < 0.08, "{}", r.utilization());
-        assert_eq!(r.seed, derive_seed(5, 0));
-        assert_eq!(multi.runs()[1].seed, derive_seed(5, 1));
-    }
-
-    #[test]
-    fn runner_rejects_invalid_config() {
-        let bad = quick().with_load(2.0);
-        assert!(Runner::new(bad).execute().is_err());
-    }
-
-    #[test]
-    fn runner_is_deterministic_across_jobs() {
-        // The ISSUE's core guarantee: jobs=1 and jobs=8 are bit-identical.
-        let base = Runner::new(quick()).seed(42).stop(StopRule::FixedReps(4));
-        let serial = base.clone().jobs(1).execute().unwrap();
-        let parallel = base.clone().jobs(8).execute().unwrap();
-        assert_eq!(serial.runs().len(), parallel.runs().len());
-        for (a, b) in serial.runs().iter().zip(parallel.runs()) {
-            assert_eq!(a.seed, b.seed);
-            assert_eq!(a.events, b.events);
-            assert_eq!(
-                a.metrics.md_local().to_bits(),
-                b.metrics.md_local().to_bits()
-            );
-            assert_eq!(
-                a.metrics.md_global().to_bits(),
-                b.metrics.md_global().to_bits()
-            );
-            assert_eq!(a.busy, b.busy);
-        }
-    }
-
-    #[test]
-    fn runner_ci_width_stops_when_converged() {
-        // Low-variance config: MD estimates agree closely across seeds,
-        // so a loose target is met at the floor.
-        let multi = Runner::new(quick())
-            .seed(7)
-            .stop(StopRule::CiWidth(50.0))
-            .min_reps(2)
-            .max_reps(32)
-            .execute()
-            .unwrap();
-        assert_eq!(multi.runs().len(), 2, "loose target must stop at the floor");
-        // And the cap binds under an unattainable target.
-        let capped = Runner::new(quick())
-            .seed(7)
-            .stop(StopRule::CiWidth(1e-9))
-            .min_reps(2)
-            .max_reps(5)
-            .execute()
-            .unwrap();
-        assert_eq!(capped.runs().len(), 5, "hard cap must bind");
-    }
-
-    #[test]
-    fn runner_ci_width_rep_counts_match_across_jobs() {
-        let base = Runner::new(quick())
-            .seed(11)
-            .stop(StopRule::CiWidth(0.05))
-            .max_reps(8);
-        let serial = base.clone().jobs(1).execute().unwrap();
-        let parallel = base.clone().jobs(4).execute().unwrap();
-        assert_eq!(serial.runs().len(), parallel.runs().len());
-        let a = serial.md_local();
-        let b = parallel.md_local();
-        assert_eq!(a.mean.to_bits(), b.mean.to_bits());
-        assert_eq!(a.half_width.to_bits(), b.half_width.to_bits());
-    }
-
-    #[test]
-    fn runner_explicit_seeds_override_derivation() {
-        let multi = Runner::new(quick())
-            .with_seeds(vec![3, 9])
-            .stop(StopRule::FixedReps(2))
-            .execute()
-            .unwrap();
-        assert_eq!(multi.runs()[0].seed, 3);
-        assert_eq!(multi.runs()[1].seed, 9);
-        // Explicit lists cap the replication budget.
-        let capped = Runner::new(quick())
-            .with_seeds(vec![3, 9])
-            .stop(StopRule::FixedReps(10))
-            .execute()
-            .unwrap();
-        assert_eq!(capped.runs().len(), 2);
-    }
-
-    #[test]
-    fn stats_report_covers_schema() {
-        let multi = Runner::new(quick())
-            .seed(1)
-            .stop(StopRule::FixedReps(2))
-            .execute()
-            .unwrap();
-        let stats = multi.stats();
-        for name in [
-            "md_local",
-            "md_subtask",
-            "md_global",
-            "missed_work",
-            "utilization",
-        ] {
-            let s = stats.get(name).unwrap_or_else(|| panic!("missing {name}"));
-            assert_eq!(s.samples, 2);
-        }
-        let json = stats.to_json();
-        assert!(json.contains("\"md_local\": {\"mean\":"));
-        assert!(json.contains("\"confidence_interval_95\": ["));
-        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_matches_runner() {
-        let cfg = quick();
-        let direct = run(&cfg, 5).unwrap();
-        let via_runner = Runner::new(cfg)
-            .with_seeds(vec![5])
-            .stop(StopRule::FixedReps(1))
-            .execute()
-            .unwrap();
-        assert_eq!(direct.seed, 5);
-        assert_eq!(
-            direct.metrics.md_local(),
-            via_runner.runs()[0].metrics.md_local()
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn replicate_matches_individual_runs() {
-        let cfg = quick();
-        let multi = replicate(&cfg, &[1, 2]).unwrap();
-        assert_eq!(multi.runs().len(), 2);
-        let solo = run(&cfg, 1).unwrap();
-        assert_eq!(
-            multi.runs()[0].metrics.md_local(),
-            solo.metrics.md_local(),
-            "threaded replication must equal the sequential run"
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn estimates_have_uncertainty_with_two_runs() {
-        let multi = replicate(&quick(), &[1, 2]).unwrap();
-        let e = multi.md_local();
-        assert!(e.mean > 0.0);
-        assert!(e.half_width > 0.0);
-        let pooled = multi.pooled_metrics();
-        assert_eq!(
-            pooled.local_count(),
-            multi.runs()[0].metrics.local_count() + multi.runs()[1].metrics.local_count()
-        );
-    }
-
-    #[test]
-    fn seeds_are_distinct_and_derived() {
-        let s = seeds(1000, 8);
-        assert_eq!(s.len(), 8);
-        let mut dedup = s.clone();
-        dedup.sort_unstable();
-        dedup.dedup();
-        assert_eq!(dedup.len(), 8);
-        assert_eq!(s, derive_seeds(1000, 8));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "at least one seed")]
-    fn replicate_empty_seeds_panics() {
-        let _ = replicate(&quick(), &[]);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn batch_means_agrees_with_replications() {
-        let cfg = SimConfig {
-            duration: 40_000.0,
-            warmup: 400.0,
-            ..SimConfig::baseline()
-        };
-        let bm = run_batch_means(&cfg, 9, 2_000).unwrap();
-        assert!(bm.batches.0 >= 10, "locals batches: {:?}", bm.batches);
-        assert!(bm.batches.1 >= 2);
-        assert!(bm.md_local.half_width > 0.0);
-        // The point estimates agree with the run's own counters (batch
-        // truncation loses at most one partial batch).
-        assert!(
-            (bm.md_local.mean - bm.run.metrics.md_local()).abs() < 0.01,
-            "batch mean {} vs counter {}",
-            bm.md_local.mean,
-            bm.run.metrics.md_local()
-        );
-        // And a replications estimate from different seeds lands inside a
-        // few half-widths.
-        let multi = replicate(&cfg, &seeds(100, 2)).unwrap();
-        let gap = (bm.md_local.mean - multi.md_local().mean).abs();
-        assert!(
-            gap < 0.02,
-            "batch-means {} vs replications {}",
-            bm.md_local.mean,
-            multi.md_local().mean
-        );
-    }
-
-    #[test]
-    fn runner_batch_means_mode_attaches_estimates() {
-        let cfg = SimConfig {
-            duration: 20_000.0,
-            warmup: 400.0,
-            ..SimConfig::baseline()
-        };
-        let multi = Runner::new(cfg)
-            .seed(9)
-            .stop(StopRule::BatchMeans { batch_size: 1_000 })
-            .execute()
-            .unwrap();
-        assert_eq!(multi.runs().len(), 1);
-        let batch = multi.batch_means().expect("batch estimates present");
-        assert!(batch.batches.0 >= 5);
-        // md_local()/md_global() answer from the batch interval.
-        assert_eq!(multi.md_local().mean, batch.md_local.mean);
-        assert!(
-            multi.md_local().half_width > 0.0,
-            "single run still has a CI"
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn batch_means_counts_tasks_after_warmup_only() {
-        let cfg = quick();
-        let bm = run_batch_means(&cfg, 10, 100).unwrap();
-        let batched = (bm.batches.0 as u64) * 100;
-        // Batched observations can't exceed counted completions by much
-        // (trace counts completion-time >= warmup; metrics count
-        // arrival-time >= warmup — the boundary band is small).
-        let counted = bm.run.metrics.local_count();
-        assert!(batched <= counted + 200, "{batched} vs {counted}");
     }
 }

@@ -1,0 +1,569 @@
+//! The orchestration layer: one [`Simulation`] wires the workload
+//! sources, the nodes, and the process manager together over the
+//! discrete-event engine.
+//!
+//! One `Simulation` is one run of the paper's system (Figure 2): `k`
+//! nodes with independent local schedulers ([`crate::node`]), a process
+//! manager that assigns virtual deadlines (via `sda-core`), submits
+//! subtasks, enforces precedence, and optionally aborts tardy tasks
+//! (§7.3, [`crate::pm`]); all randomness lives in [`crate::workload`],
+//! and observability flows through a [`TraceSink`] ([`crate::trace`]).
+
+use sda_core::Decomposition;
+use sda_simcore::rng::Rng;
+use sda_simcore::stats::NodeStats;
+use sda_simcore::{Engine, Model, SimTime};
+
+use crate::config::{AbortPolicy, ConfigError, ResubmitPolicy, SimConfig};
+use crate::metrics::Metrics;
+use crate::node::{InService, Job, LocalJob, Node, SubtaskJob};
+use crate::pm::{GlobalInstance, LeafState, ProcessManager};
+use crate::trace::{TraceEvent, TraceSink};
+use crate::workload::Workload;
+
+mod abort;
+
+/// The event alphabet of the system model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ev {
+    /// A local task arrives at `node` (and the next arrival is drawn).
+    LocalArrival {
+        /// Destination node.
+        node: usize,
+    },
+    /// A global task arrives (single system-wide stream).
+    GlobalArrival,
+    /// The task in service at `node` completes.
+    ServiceComplete {
+        /// The serving node.
+        node: usize,
+    },
+    /// Process-manager timer: local task `job_id` reached its real
+    /// deadline unfinished.
+    PmAbortLocal {
+        /// Node the task lives at.
+        node: usize,
+        /// The task's job id.
+        job_id: u64,
+    },
+    /// Process-manager timer: global task in `slot` reached its real
+    /// deadline unfinished.
+    PmAbortGlobal {
+        /// Slot in the active-global table.
+        slot: usize,
+    },
+    /// Local-scheduler abortion: the presented deadline of the job in
+    /// service at `node` passed mid-service.
+    InServiceDeadline {
+        /// The serving node.
+        node: usize,
+        /// Job the timer was armed for (guards against the job having
+        /// finished already).
+        job_id: u64,
+    },
+}
+
+/// One run of the distributed soft real-time system.
+///
+/// Use [`crate::Runner`] for the common case; construct a `Simulation`
+/// directly to drive the engine yourself (and, e.g., attach a trace
+/// sink with [`Simulation::set_sink`]).
+pub struct Simulation {
+    cfg: SimConfig,
+    nodes: Vec<Node>,
+    pm: ProcessManager,
+    workload: Workload,
+    metrics: Metrics,
+    next_job_id: u64,
+    warmup: SimTime,
+    /// Optional trace sink (None = zero-cost tracing off).
+    sink: Option<Box<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("nodes", &self.nodes.len())
+            .field("active_globals", &self.active_globals())
+            .field("next_job_id", &self.next_job_id)
+            .field("tracing", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Builds a simulation for `cfg`, deriving every random stream from
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error, if any.
+    pub fn new(cfg: SimConfig, seed: u64) -> Result<Simulation, ConfigError> {
+        cfg.validate()?;
+        let base = Rng::seed_from(seed);
+        let workload = Workload::new(&cfg, &base);
+        let nodes = (0..cfg.nodes)
+            .map(|i| {
+                Node::new(
+                    cfg.scheduler,
+                    cfg.node_speeds.get(i).copied().unwrap_or(1.0),
+                )
+            })
+            .collect();
+        Ok(Simulation {
+            nodes,
+            pm: ProcessManager::new(),
+            workload,
+            metrics: Metrics::new(),
+            next_job_id: 0,
+            warmup: SimTime::from(cfg.warmup),
+            sink: None,
+            cfg,
+        })
+    }
+
+    /// Attaches a trace sink invoked on every [`TraceEvent`].
+    ///
+    /// Tracing does not perturb the simulation: the same seed produces
+    /// the same run with or without it. Closures of type
+    /// `FnMut(SimTime, &TraceEvent) + Send` are sinks too.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches the current sink (e.g. to flush and inspect it).
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    #[inline]
+    fn emit(&mut self, now: SimTime, event: TraceEvent) {
+        if let Some(sink) = &mut self.sink {
+            sink.record(now, &event);
+        }
+    }
+
+    /// Schedules the first arrival of every stream. Call once before
+    /// running the engine.
+    pub fn prime(&mut self, engine: &mut Engine<Ev>) {
+        for node in 0..self.cfg.nodes {
+            if self.workload.lambda_local[node] > 0.0 {
+                let gap = self.workload.next_local_gap(node);
+                engine.schedule(SimTime::from(gap), Ev::LocalArrival { node });
+            }
+        }
+        if self.workload.lambda_global > 0.0 {
+            let gap = self.workload.next_global_gap();
+            engine.schedule(SimTime::from(gap), Ev::GlobalArrival);
+        }
+    }
+
+    /// The metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Consumes the simulation, returning its metrics and per-node
+    /// statistics (busy time, services, local misses, queue length).
+    pub fn into_results(self) -> (Metrics, Vec<NodeStats>) {
+        (
+            self.metrics,
+            self.nodes.into_iter().map(|n| n.stats).collect(),
+        )
+    }
+
+    /// Number of global tasks currently in flight.
+    pub fn active_globals(&self) -> usize {
+        self.pm.active()
+    }
+
+    fn fresh_job_id(&mut self) -> u64 {
+        let id = self.next_job_id;
+        self.next_job_id += 1;
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Arrivals
+    // ------------------------------------------------------------------
+
+    fn on_local_arrival(&mut self, engine: &mut Engine<Ev>, node: usize) {
+        let now = engine.now();
+        // Draw the next candidate first so stream usage is independent of
+        // what this task does.
+        let gap = self.workload.next_local_gap(node);
+        engine.schedule_after(gap, Ev::LocalArrival { node });
+        // ON/OFF thinning (no-op without burstiness).
+        if !self.workload.accept_local(node, now) {
+            return;
+        }
+
+        let draw = self.workload.draw_local(node);
+        let dl = now + (draw.ex + draw.slack);
+        let id = self.fresh_job_id();
+        let timer = match self.cfg.abort {
+            AbortPolicy::ProcessManager => {
+                Some(engine.schedule(dl, Ev::PmAbortLocal { node, job_id: id }))
+            }
+            _ => None,
+        };
+        let job = Job::Local(LocalJob {
+            id,
+            ar: now,
+            dl,
+            ex: draw.ex,
+            remaining: draw.ex,
+            timer,
+            counted: now >= self.warmup,
+        });
+        self.emit(
+            now,
+            TraceEvent::LocalArrived {
+                node,
+                job: id,
+                deadline: dl,
+            },
+        );
+        self.enqueue(engine, node, dl, draw.pex, job);
+    }
+
+    fn on_global_arrival(&mut self, engine: &mut Engine<Ev>) {
+        let now = engine.now();
+        let gap = self.workload.next_global_gap();
+        engine.schedule_after(gap, Ev::GlobalArrival);
+        if !self.workload.accept_global(now) {
+            return;
+        }
+
+        // Pick the shape and draw executions, predictions and the slack;
+        // derive the end-to-end deadline from the critical path
+        // (Equation 2).
+        let draw = self.workload.draw_global(&self.cfg.shape);
+        let leaves = self.workload.spec(draw.spec_idx).simple_count();
+        let dl = now
+            + (self
+                .workload
+                .spec(draw.spec_idx)
+                .critical_path(&draw.leaf_ex)
+                + draw.slack);
+
+        // Place the leaves: subtasks of one parallel composition run at
+        // distinct nodes; other leaves are placed per the configured
+        // placement policy.
+        let backlog: Vec<usize> = self.nodes.iter().map(Node::backlog).collect();
+        let leaf_node = self.workload.place(draw.spec_idx, &backlog);
+        debug_assert_eq!(leaf_node.len(), leaves);
+
+        let decomp = Decomposition::new(self.workload.spec(draw.spec_idx), draw.leaf_pex.clone());
+        let slot = self.pm.alloc_slot();
+        let pm_timer = match self.cfg.abort {
+            AbortPolicy::ProcessManager => Some(engine.schedule(dl, Ev::PmAbortGlobal { slot })),
+            _ => None,
+        };
+        self.pm.install(
+            slot,
+            GlobalInstance {
+                ar: now,
+                dl,
+                decomp,
+                leaf_node,
+                leaf_ex: draw.leaf_ex,
+                leaf_pex: draw.leaf_pex,
+                leaf_state: vec![LeafState::Unreleased; leaves],
+                leaf_job: vec![0; leaves],
+                leaf_resubmitted: vec![false; leaves],
+                work_done: 0.0,
+                pm_timer,
+                counted: now >= self.warmup,
+            },
+        );
+
+        self.emit(
+            now,
+            TraceEvent::GlobalArrived {
+                slot,
+                leaves,
+                deadline: dl,
+            },
+        );
+
+        // First descent of the SDA recursion (Figure 13).
+        let strategy = self.cfg.strategy;
+        let releases = self
+            .pm
+            .get_mut(slot)
+            .expect("slot just filled")
+            .decomp
+            .start(now, dl, &strategy);
+        self.submit_releases(engine, slot, releases);
+    }
+
+    fn submit_releases(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        slot: usize,
+        releases: Vec<sda_core::Release>,
+    ) {
+        for release in releases {
+            // Submitting an earlier release can abort the whole task
+            // re-entrantly (e.g. a local scheduler that aborts on already-
+            // expired virtual deadlines at dispatch, with no resubmission);
+            // the remaining releases then belong to a dead task.
+            let Some(g) = self.pm.get_mut(slot) else {
+                return;
+            };
+            let id = self.next_job_id;
+            self.next_job_id += 1;
+            g.leaf_state[release.leaf] = LeafState::Queued;
+            g.leaf_job[release.leaf] = id;
+            let (node, ex, pex) = (
+                g.leaf_node[release.leaf],
+                g.leaf_ex[release.leaf],
+                g.leaf_pex[release.leaf],
+            );
+            let job = Job::Subtask(SubtaskJob {
+                id,
+                slot,
+                leaf: release.leaf,
+                ex,
+                remaining: ex,
+            });
+            self.emit(
+                engine.now(),
+                TraceEvent::SubtaskSubmitted {
+                    slot,
+                    leaf: release.leaf,
+                    node,
+                    virtual_deadline: release.deadline,
+                },
+            );
+            self.enqueue(engine, node, release.deadline, pex, job);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Node service
+    // ------------------------------------------------------------------
+
+    fn enqueue(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        node: usize,
+        presented_dl: SimTime,
+        pex: f64,
+        job: Job,
+    ) {
+        self.nodes[node].enqueue(presented_dl, pex, job);
+        if self.nodes[node].is_idle() {
+            self.dispatch(engine, node);
+        } else if self.cfg.preemptive {
+            let preempt = self.nodes[node]
+                .current
+                .as_ref()
+                .is_some_and(|serving| presented_dl < serving.presented_dl);
+            if preempt {
+                self.preempt(engine, node);
+                self.dispatch(engine, node);
+            }
+        }
+    }
+
+    /// Preemptive-resume: moves the job in service back into the ready
+    /// queue with its remaining work, freeing the server.
+    fn preempt(&mut self, engine: &mut Engine<Ev>, node: usize) {
+        let now = engine.now();
+        let serving = self.nodes[node]
+            .detach_current(now)
+            .expect("preempting an idle node");
+        self.metrics.preemptions += 1;
+        self.emit(
+            now,
+            TraceEvent::Preempted {
+                node,
+                job: serving.job.id(),
+            },
+        );
+        engine.cancel(serving.complete);
+        if let Some(timer) = serving.abort_timer {
+            engine.cancel(timer);
+        }
+        let speed = self.nodes[node].speed;
+        let remaining = serving.work_remaining(now, speed).max(0.0);
+        let mut job = serving.job;
+        job.set_remaining(remaining);
+        if let Job::Subtask(sub) = &job {
+            let g = self.pm.get_mut(sub.slot).expect("live global");
+            g.leaf_state[sub.leaf] = LeafState::Queued;
+        }
+        // Re-queue with the original presented deadline; the service
+        // estimate becomes the remaining work (only SJF reads it, and
+        // shortest-*remaining*-time is the sensible preemptive reading).
+        self.nodes[node].enqueue(serving.presented_dl, remaining, job);
+    }
+
+    /// Starts serving the next job if the node is idle, applying the local
+    /// scheduler's dispatch-time abortion check when enabled.
+    ///
+    /// Idempotent: safe to call on a busy node (abortion handling and
+    /// release submission can re-enter it).
+    fn dispatch(&mut self, engine: &mut Engine<Ev>, node: usize) {
+        if !self.nodes[node].is_idle() {
+            return;
+        }
+        let local_abort = matches!(self.cfg.abort, AbortPolicy::LocalScheduler { .. });
+        while let Some(entry) = self.nodes[node].queue.pop() {
+            let now = engine.now();
+            if local_abort && entry.deadline < now {
+                // Expired in the queue: abort without serving. Resubmission
+                // may re-enter dispatch and fill this server.
+                let prior_work = entry.item.ex() - entry.item.remaining();
+                self.local_scheduler_abort(engine, node, entry.item, prior_work);
+                if !self.nodes[node].is_idle() {
+                    return;
+                }
+                continue;
+            }
+            let service_time = entry.item.remaining() / self.nodes[node].speed;
+            let completion_at = now + service_time;
+            let complete = engine.schedule(completion_at, Ev::ServiceComplete { node });
+            let abort_timer = (local_abort && entry.deadline > now).then(|| {
+                engine.schedule(
+                    entry.deadline,
+                    Ev::InServiceDeadline {
+                        node,
+                        job_id: entry.item.id(),
+                    },
+                )
+            });
+            if let Job::Subtask(sub) = &entry.item {
+                let g = self.pm.get_mut(sub.slot).expect("live global");
+                g.leaf_state[sub.leaf] = LeafState::InService;
+            }
+            self.emit(
+                now,
+                TraceEvent::ServiceStarted {
+                    node,
+                    job: entry.item.id(),
+                },
+            );
+            self.nodes[node].current = Some(InService {
+                job: entry.item,
+                start: now,
+                presented_dl: entry.deadline,
+                completion_at,
+                complete,
+                abort_timer,
+            });
+            return;
+        }
+    }
+
+    fn on_service_complete(&mut self, engine: &mut Engine<Ev>, node: usize) {
+        let now = engine.now();
+        let served = self.nodes[node]
+            .detach_current(now)
+            .expect("service completion with idle node");
+        self.nodes[node].stats.record_service();
+        if let Some(timer) = served.abort_timer {
+            engine.cancel(timer);
+        }
+        self.emit(
+            now,
+            TraceEvent::ServiceCompleted {
+                node,
+                job: served.job.id(),
+            },
+        );
+        match served.job {
+            Job::Local(job) => {
+                if let Some(timer) = job.timer {
+                    engine.cancel(timer);
+                }
+                let missed = now > job.dl;
+                if job.counted {
+                    self.metrics.record_local(missed, job.ex, now - job.ar);
+                    self.nodes[node].stats.record_local(missed);
+                    if missed {
+                        self.metrics.record_local_tardiness(now - job.dl);
+                    }
+                }
+                self.emit(
+                    now,
+                    TraceEvent::LocalFinished {
+                        job: job.id,
+                        missed,
+                    },
+                );
+            }
+            Job::Subtask(job) => {
+                self.on_subtask_complete(engine, job, now);
+            }
+        }
+        self.dispatch(engine, node);
+    }
+
+    fn on_subtask_complete(&mut self, engine: &mut Engine<Ev>, job: SubtaskJob, now: SimTime) {
+        let strategy = self.cfg.strategy;
+        let (releases, finished, counted, dl) = {
+            let g = self.pm.get_mut(job.slot).expect("live global");
+            g.leaf_state[job.leaf] = LeafState::Done;
+            g.work_done += job.ex;
+            let releases = g.decomp.complete_leaf(job.leaf, now, &strategy);
+            (releases, g.decomp.is_finished(), g.counted, g.dl)
+        };
+        if counted {
+            // A subtask's natural deadline is the global deadline (§4).
+            self.metrics.record_subtask(now > dl);
+        }
+        self.submit_releases(engine, job.slot, releases);
+        if finished {
+            let g = self.pm.finish(job.slot);
+            if let Some(timer) = g.pm_timer {
+                engine.cancel(timer);
+            }
+            let missed = now > g.dl;
+            if g.counted {
+                self.metrics.record_global(
+                    g.decomp.leaf_count() as u32,
+                    missed,
+                    g.work_done,
+                    now - g.ar,
+                );
+                if missed {
+                    self.metrics.record_global_tardiness(now - g.dl);
+                }
+            }
+            self.emit(
+                now,
+                TraceEvent::GlobalFinished {
+                    slot: job.slot,
+                    missed,
+                },
+            );
+        }
+    }
+}
+
+impl Model for Simulation {
+    type Event = Ev;
+
+    fn handle(&mut self, engine: &mut Engine<Ev>, event: Ev) {
+        match event {
+            Ev::LocalArrival { node } => self.on_local_arrival(engine, node),
+            Ev::GlobalArrival => self.on_global_arrival(engine),
+            Ev::ServiceComplete { node } => self.on_service_complete(engine, node),
+            Ev::PmAbortLocal { node, job_id } => self.on_pm_abort_local(engine, node, job_id),
+            Ev::PmAbortGlobal { slot } => self.on_pm_abort_global(engine, slot),
+            Ev::InServiceDeadline { node, job_id } => {
+                self.on_in_service_deadline(engine, node, job_id)
+            }
+        }
+        // Close the queue-length accounting window at the current time for
+        // any node whose queue changed (cheap: k is small, and update is a
+        // no-op amortized when the length is unchanged).
+        let now = engine.now();
+        for node in &mut self.nodes {
+            node.observe_queue(now);
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Runner tests: determinism across `jobs` levels, stopping rules,
+//! stats.json schema, and the trace threading of replication 0.
+
+use sda_sim::trace::{CountingSink, RingBufferSink, SharedSink};
+use sda_sim::{seeds, Runner, SimConfig, Simulation, StopRule};
+use sda_simcore::rng::{derive_seed, derive_seeds};
+use sda_simcore::{Engine, SimTime};
+
+fn quick() -> SimConfig {
+    SimConfig {
+        duration: 3_000.0,
+        warmup: 100.0,
+        ..SimConfig::baseline()
+    }
+}
+
+#[test]
+fn runner_fixed_reps_produces_results() {
+    let multi = Runner::new(quick())
+        .seed(5)
+        .stop(StopRule::FixedReps(2))
+        .execute()
+        .unwrap();
+    assert_eq!(multi.runs().len(), 2);
+    let r = &multi.runs()[0];
+    assert!(r.events > 10_000);
+    assert_eq!(r.busy.len(), 6);
+    assert_eq!(r.node_stats.len(), 6);
+    assert!(r.metrics.local_count() > 1_000);
+    assert!((r.utilization() - 0.5).abs() < 0.08, "{}", r.utilization());
+    assert_eq!(r.seed, derive_seed(5, 0));
+    assert_eq!(multi.runs()[1].seed, derive_seed(5, 1));
+    // node_stats and the derived fields agree.
+    for (i, s) in r.node_stats.iter().enumerate() {
+        assert_eq!(r.busy[i], s.busy());
+        assert_eq!(
+            r.mean_queue_len[i],
+            s.mean_queue_len(SimTime::from(r.duration))
+        );
+    }
+}
+
+#[test]
+fn runner_rejects_invalid_config() {
+    let bad = quick().with_load(2.0);
+    assert!(Runner::new(bad).execute().is_err());
+}
+
+#[test]
+fn runner_is_deterministic_across_jobs() {
+    // The core guarantee: jobs=1 and jobs=8 are bit-identical.
+    let base = Runner::new(quick()).seed(42).stop(StopRule::FixedReps(4));
+    let serial = base.clone().jobs(1).execute().unwrap();
+    let parallel = base.clone().jobs(8).execute().unwrap();
+    assert_eq!(serial.runs().len(), parallel.runs().len());
+    for (a, b) in serial.runs().iter().zip(parallel.runs()) {
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.events, b.events);
+        assert_eq!(
+            a.metrics.md_local().to_bits(),
+            b.metrics.md_local().to_bits()
+        );
+        assert_eq!(
+            a.metrics.md_global().to_bits(),
+            b.metrics.md_global().to_bits()
+        );
+        assert_eq!(a.busy, b.busy);
+    }
+}
+
+#[test]
+fn runner_ci_width_stops_when_converged() {
+    // Low-variance config: MD estimates agree closely across seeds,
+    // so a loose target is met at the floor.
+    let multi = Runner::new(quick())
+        .seed(7)
+        .stop(StopRule::CiWidth(50.0))
+        .min_reps(2)
+        .max_reps(32)
+        .execute()
+        .unwrap();
+    assert_eq!(multi.runs().len(), 2, "loose target must stop at the floor");
+    // And the cap binds under an unattainable target.
+    let capped = Runner::new(quick())
+        .seed(7)
+        .stop(StopRule::CiWidth(1e-9))
+        .min_reps(2)
+        .max_reps(5)
+        .execute()
+        .unwrap();
+    assert_eq!(capped.runs().len(), 5, "hard cap must bind");
+}
+
+#[test]
+fn runner_ci_width_rep_counts_match_across_jobs() {
+    let base = Runner::new(quick())
+        .seed(11)
+        .stop(StopRule::CiWidth(0.05))
+        .max_reps(8);
+    let serial = base.clone().jobs(1).execute().unwrap();
+    let parallel = base.clone().jobs(4).execute().unwrap();
+    assert_eq!(serial.runs().len(), parallel.runs().len());
+    let a = serial.md_local();
+    let b = parallel.md_local();
+    assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+    assert_eq!(a.half_width.to_bits(), b.half_width.to_bits());
+}
+
+#[test]
+fn runner_explicit_seeds_override_derivation() {
+    let multi = Runner::new(quick())
+        .with_seeds(vec![3, 9])
+        .stop(StopRule::FixedReps(2))
+        .execute()
+        .unwrap();
+    assert_eq!(multi.runs()[0].seed, 3);
+    assert_eq!(multi.runs()[1].seed, 9);
+    // Explicit lists cap the replication budget.
+    let capped = Runner::new(quick())
+        .with_seeds(vec![3, 9])
+        .stop(StopRule::FixedReps(10))
+        .execute()
+        .unwrap();
+    assert_eq!(capped.runs().len(), 2);
+}
+
+#[test]
+fn with_seeds_runs_match_seeded_single_runs() {
+    let cfg = quick();
+    let multi = Runner::new(cfg.clone())
+        .with_seeds(vec![1, 2])
+        .stop(StopRule::FixedReps(2))
+        .execute()
+        .unwrap();
+    assert_eq!(multi.runs().len(), 2);
+    let solo = Runner::new(cfg)
+        .with_seeds(vec![1])
+        .stop(StopRule::FixedReps(1))
+        .execute()
+        .unwrap();
+    assert_eq!(
+        multi.runs()[0].metrics.md_local(),
+        solo.runs()[0].metrics.md_local(),
+        "threaded replication must equal the sequential run"
+    );
+}
+
+#[test]
+fn estimates_have_uncertainty_with_two_runs() {
+    let multi = Runner::new(quick())
+        .with_seeds(vec![1, 2])
+        .stop(StopRule::FixedReps(2))
+        .execute()
+        .unwrap();
+    let e = multi.md_local();
+    assert!(e.mean > 0.0);
+    assert!(e.half_width > 0.0);
+    let pooled = multi.pooled_metrics();
+    assert_eq!(
+        pooled.local_count(),
+        multi.runs()[0].metrics.local_count() + multi.runs()[1].metrics.local_count()
+    );
+}
+
+#[test]
+fn stats_report_covers_schema() {
+    let multi = Runner::new(quick())
+        .seed(1)
+        .stop(StopRule::FixedReps(2))
+        .execute()
+        .unwrap();
+    let stats = multi.stats();
+    for name in [
+        "md_local",
+        "md_subtask",
+        "md_global",
+        "missed_work",
+        "utilization",
+    ] {
+        let s = stats.get(name).unwrap_or_else(|| panic!("missing {name}"));
+        assert_eq!(s.samples, 2);
+    }
+    assert_eq!(stats.per_node().len(), 6);
+    for n in stats.per_node() {
+        assert!(n.utilization.mean > 0.0 && n.utilization.mean < 1.0);
+        assert!(n.mean_queue_len.mean >= 0.0);
+        assert_eq!(n.local_miss_rate.samples, 2);
+    }
+    let json = stats.to_json();
+    assert!(json.contains("\"md_local\": {\"mean\":"));
+    assert!(json.contains("\"confidence_interval_95\": ["));
+    assert!(json.contains("\"per_node\": ["));
+    assert!(json.contains("\"local_miss_rate\""));
+    assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+}
+
+#[test]
+fn seeds_are_distinct_and_derived() {
+    let s = seeds(1000, 8);
+    assert_eq!(s.len(), 8);
+    let mut dedup = s.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), 8);
+    assert_eq!(s, derive_seeds(1000, 8));
+}
+
+#[test]
+#[should_panic(expected = "at least one replication")]
+fn empty_seed_list_panics() {
+    let _ = Runner::new(quick())
+        .with_seeds(vec![])
+        .stop(StopRule::FixedReps(2))
+        .execute();
+}
+
+#[test]
+fn batch_means_agrees_with_replications() {
+    let cfg = SimConfig {
+        duration: 40_000.0,
+        warmup: 400.0,
+        ..SimConfig::baseline()
+    };
+    let bm = Runner::new(cfg.clone())
+        .with_seeds(vec![9])
+        .stop(StopRule::BatchMeans { batch_size: 2_000 })
+        .execute()
+        .unwrap();
+    let batch = bm.batch_means().expect("batch estimates present").clone();
+    assert!(batch.batches.0 >= 10, "locals batches: {:?}", batch.batches);
+    assert!(batch.batches.1 >= 2);
+    assert!(batch.md_local.half_width > 0.0);
+    // The point estimates agree with the run's own counters (batch
+    // truncation loses at most one partial batch).
+    let counter_md = bm.runs()[0].metrics.md_local();
+    assert!(
+        (batch.md_local.mean - counter_md).abs() < 0.01,
+        "batch mean {} vs counter {}",
+        batch.md_local.mean,
+        counter_md
+    );
+    // And a replications estimate from different seeds lands inside a
+    // few half-widths.
+    let multi = Runner::new(cfg)
+        .with_seeds(seeds(100, 2))
+        .stop(StopRule::FixedReps(2))
+        .execute()
+        .unwrap();
+    let gap = (batch.md_local.mean - multi.md_local().mean).abs();
+    assert!(
+        gap < 0.02,
+        "batch-means {} vs replications {}",
+        batch.md_local.mean,
+        multi.md_local().mean
+    );
+}
+
+#[test]
+fn runner_batch_means_mode_attaches_estimates() {
+    let cfg = SimConfig {
+        duration: 20_000.0,
+        warmup: 400.0,
+        ..SimConfig::baseline()
+    };
+    let multi = Runner::new(cfg)
+        .seed(9)
+        .stop(StopRule::BatchMeans { batch_size: 1_000 })
+        .execute()
+        .unwrap();
+    assert_eq!(multi.runs().len(), 1);
+    let batch = multi.batch_means().expect("batch estimates present");
+    assert!(batch.batches.0 >= 5);
+    // md_local()/md_global() answer from the batch interval.
+    assert_eq!(multi.md_local().mean, batch.md_local.mean);
+    assert!(
+        multi.md_local().half_width > 0.0,
+        "single run still has a CI"
+    );
+}
+
+#[test]
+fn batch_means_counts_tasks_after_warmup_only() {
+    let cfg = quick();
+    let bm = Runner::new(cfg)
+        .with_seeds(vec![10])
+        .stop(StopRule::BatchMeans { batch_size: 100 })
+        .execute()
+        .unwrap();
+    let batch = bm.batch_means().expect("batch estimates present");
+    let batched = (batch.batches.0 as u64) * 100;
+    // Batched observations can't exceed counted completions by much
+    // (trace counts completion-time >= warmup; metrics count
+    // arrival-time >= warmup — the boundary band is small).
+    let counted = bm.runs()[0].metrics.local_count();
+    assert!(batched <= counted + 200, "{batched} vs {counted}");
+}
+
+#[test]
+fn trace_goes_to_first_replication_only() {
+    let (sink, handle) = CountingSink::with_handle();
+    let shared = SharedSink::new(Box::new(sink));
+    let multi = Runner::new(quick())
+        .seed(3)
+        .jobs(2)
+        .stop(StopRule::FixedReps(3))
+        .trace(shared)
+        .execute()
+        .unwrap();
+    assert_eq!(multi.runs().len(), 3);
+    let counts = handle.counts();
+    assert!(counts.total() > 0, "replication 0 must be traced");
+    // The trace equals a solo run of replication 0's seed.
+    let (solo_sink, solo_handle) = CountingSink::with_handle();
+    let mut sim = Simulation::new(quick(), derive_seed(3, 0)).unwrap();
+    sim.set_sink(Box::new(solo_sink));
+    let mut engine = Engine::new();
+    sim.prime(&mut engine);
+    engine.run_until(&mut sim, SimTime::from(quick().duration));
+    assert_eq!(counts, solo_handle.counts());
+}
+
+#[test]
+fn traced_runner_output_is_jobs_invariant() {
+    let jsonl_of = |jobs: usize| {
+        let (sink, handle) = RingBufferSink::with_handle(usize::MAX);
+        let shared = SharedSink::new(Box::new(sink));
+        Runner::new(quick())
+            .seed(21)
+            .jobs(jobs)
+            .stop(StopRule::FixedReps(3))
+            .trace(shared)
+            .execute()
+            .unwrap();
+        let mut out = String::new();
+        for r in handle.records() {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    };
+    let a = jsonl_of(1);
+    let b = jsonl_of(4);
+    assert!(!a.is_empty());
+    assert_eq!(a.as_bytes(), b.as_bytes(), "trace must be byte-identical");
+}
+
+#[test]
+fn tracing_does_not_change_results() {
+    let base = Runner::new(quick()).seed(8).stop(StopRule::FixedReps(2));
+    let plain = base.clone().execute().unwrap();
+    let (sink, _handle) = CountingSink::with_handle();
+    let traced = base
+        .clone()
+        .trace(SharedSink::new(Box::new(sink)))
+        .execute()
+        .unwrap();
+    for (a, b) in plain.runs().iter().zip(traced.runs()) {
+        assert_eq!(a.events, b.events);
+        assert_eq!(
+            a.metrics.md_local().to_bits(),
+            b.metrics.md_local().to_bits()
+        );
+    }
+}
+
+#[test]
+fn batch_means_user_trace_rides_along() {
+    let (sink, handle) = CountingSink::with_handle();
+    let multi = Runner::new(quick())
+        .seed(13)
+        .stop(StopRule::BatchMeans { batch_size: 500 })
+        .trace(SharedSink::new(Box::new(sink)))
+        .execute()
+        .unwrap();
+    assert!(multi.batch_means().is_some());
+    assert!(handle.counts().total() > 0, "user sink still sees events");
+}

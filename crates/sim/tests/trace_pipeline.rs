@@ -1,0 +1,198 @@
+//! Trace pipeline tests: JSONL round-trips and the sink zoo.
+
+use sda_sim::trace::{
+    parse_jsonl, CountingSink, FanoutSink, JsonlSink, RingBufferSink, SharedSink, TraceEvent,
+    TraceRecord, TraceSink,
+};
+use sda_simcore::SimTime;
+
+fn samples() -> Vec<TraceRecord> {
+    let t = SimTime::from;
+    vec![
+        TraceRecord::new(
+            t(0.125),
+            TraceEvent::LocalArrived {
+                node: 3,
+                job: 17,
+                deadline: t(4.5),
+            },
+        ),
+        TraceRecord::new(
+            t(1.0),
+            TraceEvent::GlobalArrived {
+                slot: 0,
+                leaves: 4,
+                deadline: t(9.25),
+            },
+        ),
+        TraceRecord::new(
+            t(1.0),
+            TraceEvent::SubtaskSubmitted {
+                slot: 0,
+                leaf: 2,
+                node: 5,
+                virtual_deadline: t(3.0) - 1e9, // GF-style negative deadline
+            },
+        ),
+        TraceRecord::new(t(2.5), TraceEvent::ServiceStarted { node: 1, job: 9 }),
+        TraceRecord::new(t(3.5), TraceEvent::ServiceCompleted { node: 1, job: 9 }),
+        TraceRecord::new(t(4.0), TraceEvent::Preempted { node: 0, job: 2 }),
+        TraceRecord::new(
+            t(5.0),
+            TraceEvent::LocalFinished {
+                job: 17,
+                missed: true,
+            },
+        ),
+        TraceRecord::new(
+            t(6.0),
+            TraceEvent::GlobalFinished {
+                slot: 0,
+                missed: false,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn jsonl_round_trips_every_event_kind() {
+    for rec in samples() {
+        let line = rec.to_json();
+        let back =
+            TraceRecord::from_json(&line).unwrap_or_else(|| panic!("unparsable line: {line}"));
+        assert_eq!(back, rec, "line: {line}");
+    }
+}
+
+#[test]
+fn jsonl_lines_are_flat_json_objects() {
+    for rec in samples() {
+        let line = rec.to_json();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains(&format!("\"event\":\"{}\"", rec.event.kind())));
+        assert!(!line.contains('\n'));
+    }
+}
+
+#[test]
+fn parse_jsonl_skips_garbage_and_blank_lines() {
+    let mut doc = String::new();
+    for rec in samples() {
+        doc.push_str(&rec.to_json());
+        doc.push('\n');
+    }
+    doc.push_str("\nnot json at all\n{\"t\":1.0,\"event\":\"who_knows\"}\n");
+    let parsed = parse_jsonl(&doc);
+    assert_eq!(parsed, samples());
+}
+
+#[test]
+fn kinds_cover_every_variant() {
+    let seen: Vec<&str> = samples().iter().map(|r| r.event.kind()).collect();
+    assert_eq!(seen, TraceEvent::KINDS.to_vec());
+}
+
+#[test]
+fn ring_buffer_keeps_the_most_recent() {
+    let (mut sink, handle) = RingBufferSink::with_handle(3);
+    for i in 0..10u64 {
+        sink.record(
+            SimTime::from(i as f64),
+            &TraceEvent::ServiceStarted { node: 0, job: i },
+        );
+    }
+    let records = handle.records();
+    assert_eq!(handle.len(), 3);
+    assert!(!handle.is_empty());
+    let jobs: Vec<u64> = records
+        .iter()
+        .map(|r| match r.event {
+            TraceEvent::ServiceStarted { job, .. } => job,
+            _ => unreachable!(),
+        })
+        .collect();
+    assert_eq!(jobs, vec![7, 8, 9], "oldest evicted first");
+}
+
+#[test]
+fn counting_sink_tallies_kinds() {
+    let (mut sink, handle) = CountingSink::with_handle();
+    for rec in samples() {
+        sink.record(rec.time, &rec.event);
+    }
+    sink.record(
+        SimTime::from(7.0),
+        &TraceEvent::ServiceStarted { node: 2, job: 1 },
+    );
+    let counts = handle.counts();
+    assert_eq!(counts.get("service_started"), 2);
+    assert_eq!(counts.get("preempted"), 1);
+    assert_eq!(counts.get("no_such_kind"), 0);
+    assert_eq!(counts.total(), 9);
+    assert_eq!(counts.entries().count(), 8);
+}
+
+#[test]
+fn jsonl_sink_writes_parseable_lines() {
+    let mut sink = JsonlSink::new(Vec::new());
+    for rec in samples() {
+        sink.record(rec.time, &rec.event);
+    }
+    sink.flush();
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    assert_eq!(text.lines().count(), samples().len());
+    assert_eq!(parse_jsonl(&text), samples());
+}
+
+#[test]
+fn fanout_feeds_every_child() {
+    let (count_a, ha) = CountingSink::with_handle();
+    let (count_b, hb) = CountingSink::with_handle();
+    let mut fan = FanoutSink::new(vec![Box::new(count_a), Box::new(count_b)]);
+    for rec in samples() {
+        fan.record(rec.time, &rec.event);
+    }
+    fan.flush();
+    assert_eq!(ha.counts(), hb.counts());
+    assert_eq!(ha.counts().total(), 8);
+}
+
+#[test]
+fn shared_sink_forwards_and_survives_clone() {
+    let (count, handle) = CountingSink::with_handle();
+    let mut shared = SharedSink::new(Box::new(count));
+    let mut clone = shared.clone();
+    shared.record(
+        SimTime::from(1.0),
+        &TraceEvent::ServiceStarted { node: 0, job: 1 },
+    );
+    clone.record(
+        SimTime::from(2.0),
+        &TraceEvent::ServiceCompleted { node: 0, job: 1 },
+    );
+    clone.flush();
+    assert_eq!(handle.counts().total(), 2);
+}
+
+#[test]
+fn closures_are_sinks() {
+    let mut hits = 0usize;
+    {
+        let mut sink: Box<dyn TraceSink> = Box::new(|_: SimTime, _: &TraceEvent| {});
+        sink.record(
+            SimTime::from(0.0),
+            &TraceEvent::ServiceStarted { node: 0, job: 0 },
+        );
+    }
+    let counter = std::sync::Arc::new(std::sync::Mutex::new(0usize));
+    {
+        let c = std::sync::Arc::clone(&counter);
+        let mut sink: Box<dyn TraceSink> =
+            Box::new(move |_: SimTime, _: &TraceEvent| *c.lock().unwrap() += 1);
+        for rec in samples() {
+            sink.record(rec.time, &rec.event);
+        }
+    }
+    hits += *counter.lock().unwrap();
+    assert_eq!(hits, 8);
+}

@@ -798,6 +798,106 @@ impl TimeWeighted {
     }
 }
 
+/// Per-node observables of one simulation run: busy time, served count,
+/// local deadline misses, and the time-weighted queue length.
+///
+/// The simulation feeds this during the run; ratios are taken against a
+/// measurement span the caller supplies (typically `duration - warmup`),
+/// so the accumulator itself stays clock-free.
+///
+/// ```
+/// use sda_simcore::stats::NodeStats;
+/// use sda_simcore::SimTime;
+/// let mut n = NodeStats::new(SimTime::ZERO);
+/// n.observe_queue(SimTime::from(1.0), 2.0);
+/// n.add_busy(3.0);
+/// n.record_service();
+/// n.record_local(false);
+/// assert_eq!(n.utilization(4.0), 0.75);
+/// assert_eq!(n.local_miss_rate(), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStats {
+    busy: f64,
+    served: u64,
+    local: MissCounter,
+    queue: TimeWeighted,
+}
+
+impl NodeStats {
+    /// Starts tracking at `start` with an empty queue.
+    pub fn new(start: crate::time::SimTime) -> NodeStats {
+        NodeStats {
+            busy: 0.0,
+            served: 0,
+            local: MissCounter::new(),
+            queue: TimeWeighted::new(start, 0.0),
+        }
+    }
+
+    /// Adds `amount` of busy (serving) time.
+    pub fn add_busy(&mut self, amount: f64) {
+        self.busy += amount;
+    }
+
+    /// Counts one completed service (local job or subtask).
+    pub fn record_service(&mut self) {
+        self.served += 1;
+    }
+
+    /// Counts one finished *local* job and whether it missed its deadline.
+    pub fn record_local(&mut self, missed: bool) {
+        self.local.record(missed);
+    }
+
+    /// Records the queue length at time `at`.
+    pub fn observe_queue(&mut self, at: crate::time::SimTime, len: f64) {
+        self.queue.update(at, len);
+    }
+
+    /// Discards everything observed before `at` (warm-up transient).
+    pub fn reset_window(&mut self, at: crate::time::SimTime) {
+        self.busy = 0.0;
+        self.served = 0;
+        self.local = MissCounter::new();
+        self.queue.reset(at);
+    }
+
+    /// Total busy time accumulated.
+    pub fn busy(&self) -> f64 {
+        self.busy
+    }
+
+    /// Number of services completed.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Fraction of `span` the node spent serving.
+    pub fn utilization(&self, span: f64) -> f64 {
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.busy / span
+        }
+    }
+
+    /// Time-weighted mean ready-queue length up to `until`.
+    pub fn mean_queue_len(&self, until: crate::time::SimTime) -> f64 {
+        self.queue.average(until)
+    }
+
+    /// Local-job deadline miss rate at this node (0 when no locals finished).
+    pub fn local_miss_rate(&self) -> f64 {
+        self.local.rate()
+    }
+
+    /// Finished local jobs observed at this node.
+    pub fn locals_finished(&self) -> u64 {
+        self.local.total()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1174,5 +1274,42 @@ mod tests {
     fn time_weighted_empty_window_returns_current() {
         let tw = TimeWeighted::new(SimTime::from(5.0), 7.0);
         assert_eq!(tw.average(SimTime::from(5.0)), 7.0);
+    }
+
+    #[test]
+    fn node_stats_accumulates_ratios() {
+        let mut n = NodeStats::new(SimTime::ZERO);
+        n.observe_queue(SimTime::from(2.0), 3.0); // len 0 for 2 units
+        n.observe_queue(SimTime::from(4.0), 0.0); // len 3 for 2 units
+        n.add_busy(1.0);
+        n.add_busy(2.0);
+        n.record_service();
+        n.record_service();
+        n.record_local(true);
+        n.record_local(false);
+        n.record_local(false);
+        assert_eq!(n.busy(), 3.0);
+        assert_eq!(n.served(), 2);
+        assert_eq!(n.utilization(6.0), 0.5);
+        assert_eq!(n.utilization(0.0), 0.0);
+        assert!((n.mean_queue_len(SimTime::from(4.0)) - 1.5).abs() < 1e-12);
+        assert!((n.local_miss_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(n.locals_finished(), 3);
+    }
+
+    #[test]
+    fn node_stats_reset_window_discards_warmup() {
+        let mut n = NodeStats::new(SimTime::ZERO);
+        n.add_busy(5.0);
+        n.record_service();
+        n.record_local(true);
+        n.observe_queue(SimTime::from(10.0), 4.0);
+        n.reset_window(SimTime::from(10.0));
+        assert_eq!(n.busy(), 0.0);
+        assert_eq!(n.served(), 0);
+        assert_eq!(n.locals_finished(), 0);
+        // Queue value carries across the reset (it is a level, not a count).
+        n.observe_queue(SimTime::from(20.0), 0.0);
+        assert!((n.mean_queue_len(SimTime::from(20.0)) - 4.0).abs() < 1e-12);
     }
 }

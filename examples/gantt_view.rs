@@ -7,14 +7,13 @@
 //!
 //! Run with: `cargo run --release --example gantt_view`
 
-use std::sync::{Arc, Mutex};
-
 use sda::experiments::gantt::render_gantt;
 use sda::prelude::*;
-use sda::sim::{Simulation, TraceEvent};
+use sda::sim::trace::{RingBufferSink, TraceRecord};
+use sda::sim::Simulation;
 use sda::simcore::Engine;
 
-fn traced(strategy: SdaStrategy, seed: u64) -> Vec<(f64, TraceEvent)> {
+fn traced(strategy: SdaStrategy, seed: u64) -> Vec<TraceRecord> {
     let cfg = SimConfig {
         load: 0.8, // busy enough that queueing order matters
         duration: 120.0,
@@ -22,20 +21,13 @@ fn traced(strategy: SdaStrategy, seed: u64) -> Vec<(f64, TraceEvent)> {
         ..SimConfig::baseline()
     }
     .with_strategy(strategy);
-    let log: Arc<Mutex<Vec<(f64, TraceEvent)>>> = Arc::default();
-    let sink = Arc::clone(&log);
+    let (sink, handle) = RingBufferSink::with_handle(usize::MAX);
     let mut sim = Simulation::new(cfg, seed).expect("valid config");
-    sim.set_trace(Box::new(move |now, ev| {
-        sink.lock().unwrap().push((now.value(), *ev));
-    }));
+    sim.set_sink(Box::new(sink));
     let mut engine = Engine::new();
     sim.prime(&mut engine);
     engine.run_until(&mut sim, SimTime::from(120.0));
-    drop(sim); // releases the trace closure's Arc
-    Arc::try_unwrap(log)
-        .expect("sole owner")
-        .into_inner()
-        .unwrap()
+    handle.records()
 }
 
 fn main() {

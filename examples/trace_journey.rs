@@ -1,15 +1,14 @@
 //! Follow one global task's journey through the system, event by event.
 //!
-//! Attaches a trace to the simulator, picks the first global task that
-//! arrives after warm-up, and prints its full lifecycle: decomposition,
-//! per-node submission with virtual deadlines, service, and completion —
-//! the process manager's work made visible.
+//! Attaches a trace sink to the simulator, picks the first global task
+//! that arrives after warm-up, and prints its full lifecycle:
+//! decomposition, per-node submission with virtual deadlines, service,
+//! and completion — the process manager's work made visible.
 //!
 //! Run with: `cargo run --release --example trace_journey`
 
-use std::sync::{Arc, Mutex};
-
 use sda::prelude::*;
+use sda::sim::trace::RingBufferSink;
 use sda::sim::{Simulation, TraceEvent};
 use sda::simcore::Engine;
 
@@ -21,17 +20,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     .with_strategy(SdaStrategy::eqf_div1());
 
-    let log: Arc<Mutex<Vec<(f64, TraceEvent)>>> = Arc::default();
-    let sink = Arc::clone(&log);
+    let (sink, handle) = RingBufferSink::with_handle(usize::MAX);
     let mut sim = Simulation::new(cfg, 2024)?;
-    sim.set_trace(Box::new(move |now, ev| {
-        sink.lock().unwrap().push((now.value(), *ev));
-    }));
+    sim.set_sink(Box::new(sink));
     let mut engine = Engine::new();
     sim.prime(&mut engine);
     engine.run_until(&mut sim, SimTime::from(500.0));
 
-    let log = log.lock().unwrap();
+    let log: Vec<(f64, TraceEvent)> = handle
+        .records()
+        .into_iter()
+        .map(|r| (r.time.value(), r.event))
+        .collect();
 
     // Pick the first global task and collect everything about its slot
     // until it finishes.
@@ -48,7 +48,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("at least one global arrives in 500 time units");
 
     println!("following global task in slot {slot}: {leaves} subtasks, deadline {deadline:.2}\n");
-    let mut submitted_jobs: Vec<u64> = Vec::new();
     for (t, ev) in log.iter() {
         match ev {
             TraceEvent::GlobalArrived { slot: s, .. } if *s == slot && *t == t0 => {
@@ -78,9 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 );
                 break;
             }
-            _ => {
-                let _ = &mut submitted_jobs;
-            }
+            _ => {}
         }
     }
     println!(

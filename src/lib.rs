@@ -82,8 +82,6 @@ pub mod prelude {
         Decomposition, EstimationModel, PspStrategy, Release, SdaStrategy, SspStrategy,
     };
     pub use sda_model::{parse_spec, Attrs, NodeId, TaskClass, TaskId, TaskSpec};
-    #[allow(deprecated)]
-    pub use sda_sim::{replicate, run};
     pub use sda_sim::{
         seeds, AbortPolicy, GlobalShape, Metrics, MultiRun, ResubmitPolicy, RunResult, Runner,
         SimConfig, StatsReport, StopRule,

@@ -3,25 +3,24 @@
 //! the live simulator through the trace facility.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
 
 use sda::prelude::*;
+use sda::sim::trace::RingBufferSink;
 use sda::sim::{Simulation, TraceEvent};
 use sda::simcore::Engine;
 
-type Log = Arc<Mutex<Vec<(f64, TraceEvent)>>>;
-
-fn traced_run(cfg: SimConfig, seed: u64, horizon: f64) -> Log {
-    let log: Log = Arc::default();
-    let sink = Arc::clone(&log);
+fn traced_run(cfg: SimConfig, seed: u64, horizon: f64) -> Vec<(f64, TraceEvent)> {
+    let (sink, handle) = RingBufferSink::with_handle(usize::MAX);
     let mut sim = Simulation::new(cfg, seed).expect("valid config");
-    sim.set_trace(Box::new(move |now, ev| {
-        sink.lock().unwrap().push((now.value(), *ev));
-    }));
+    sim.set_sink(Box::new(sink));
     let mut engine = Engine::new();
     sim.prime(&mut engine);
     engine.run_until(&mut sim, SimTime::from(horizon));
-    log
+    handle
+        .records()
+        .into_iter()
+        .map(|r| (r.time.value(), r.event))
+        .collect()
 }
 
 #[test]
@@ -39,7 +38,6 @@ fn serial_stages_submit_only_after_predecessors_complete() {
     }
     .with_strategy(SdaStrategy::eqf_ud());
     let log = traced_run(cfg, 7, 3_000.0);
-    let log = log.lock().unwrap();
 
     // Track, per slot *incarnation*, the submissions seen so far. A slot
     // is re-incarnated after GlobalFinished.
@@ -80,7 +78,6 @@ fn parallel_subtasks_all_submit_at_arrival() {
         ..SimConfig::baseline()
     };
     let log = traced_run(cfg, 8, 1_000.0);
-    let log = log.lock().unwrap();
     let mut arrival_time: HashMap<usize, f64> = HashMap::new();
     let mut submissions = 0;
     for (t, ev) in log.iter() {
@@ -113,7 +110,6 @@ fn virtual_deadlines_in_trace_match_strategy() {
     }
     .with_strategy(SdaStrategy::ud_div1());
     let log = traced_run(cfg, 9, 500.0);
-    let log = log.lock().unwrap();
     let mut deadline: HashMap<usize, (f64, f64)> = HashMap::new(); // slot -> (ar, dl)
     let mut checked = 0;
     for (t, ev) in log.iter() {

@@ -137,22 +137,41 @@ fn stats_json_matches_the_documented_schema() {
 }
 
 #[test]
-fn deprecated_shims_agree_with_runner() {
-    // The old entry points must keep returning exactly what the Runner
-    // returns for the same seeds, until they are removed.
-    #[allow(deprecated)]
-    let old = replicate(&quick(), &seeds(23, 3)).expect("baseline validates");
-    let new = Runner::new(quick())
+fn explicit_seed_lists_agree_with_derived_seeds() {
+    // `with_seeds(seeds(b, n))` must reproduce the derived-seed schedule
+    // exactly — the common-random-numbers workflow is just the default
+    // spelled out.
+    let explicit = Runner::new(quick())
+        .with_seeds(seeds(23, 3))
+        .stop(StopRule::FixedReps(3))
+        .execute()
+        .expect("baseline validates");
+    let derived = Runner::new(quick())
         .seed(23)
         .stop(StopRule::FixedReps(3))
         .execute()
         .expect("baseline validates");
-    assert_eq!(old.runs().len(), new.runs().len());
-    for (a, b) in old.runs().iter().zip(new.runs()) {
+    assert_eq!(explicit.runs().len(), derived.runs().len());
+    for (a, b) in explicit.runs().iter().zip(derived.runs()) {
         assert_eq!(a.seed, b.seed);
         assert_eq!(
             a.metrics.md_global().to_bits(),
             b.metrics.md_global().to_bits()
         );
     }
+}
+
+#[test]
+fn stats_json_carries_per_node_statistics() {
+    let multi = Runner::new(quick())
+        .seed(41)
+        .stop(StopRule::FixedReps(2))
+        .execute()
+        .expect("baseline validates");
+    let json = multi.stats().to_json();
+    assert!(json.contains("\"per_node\":"), "per_node array missing");
+    for f in ["\"node\":", "\"utilization\":", "\"mean_queue_len\":"] {
+        assert!(json.contains(f), "per-node field {f} missing");
+    }
+    assert_eq!(multi.stats().per_node().len(), quick().nodes);
 }
