@@ -1,0 +1,50 @@
+//! Pins the tentpole claim of the hot-path work: after warmup, the
+//! arrival→dispatch→completion loop performs **zero** heap allocations
+//! (tracing off). Runs only with `--features alloc-count`, which this
+//! target requires (see `Cargo.toml`), so ordinary workspace test runs
+//! keep the plain system allocator.
+//!
+//! The simulation is single-threaded and deterministic, so the
+//! allocation count over a fixed seed and horizon is deterministic too:
+//! this test either always passes or always fails for a given build.
+
+use sda_bench::alloc_count::{self, CountingAlloc};
+use sda_sim::{SimConfig, Simulation};
+use sda_simcore::{Engine, SimTime};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn arrival_cycle_is_allocation_free_after_warmup() {
+    // The default Figure-5 workload: 6 nodes, parallel-4 globals,
+    // exponential service, EDF. Long enough warmup that every pool,
+    // queue, calendar, and hash table has reached its steady-state
+    // capacity before the measured window opens.
+    let cfg = SimConfig {
+        duration: 50_000.0,
+        ..SimConfig::baseline()
+    };
+    let mut sim = Simulation::new(cfg, 1).expect("baseline config is valid");
+    let mut engine = Engine::new();
+    sim.prime(&mut engine);
+    engine.run_until(&mut sim, SimTime::from(40_000.0));
+    let warm_events = engine.events_processed();
+
+    let before = alloc_count::snapshot();
+    engine.run_until(&mut sim, SimTime::from(50_000.0));
+    let delta = alloc_count::snapshot().since(before);
+
+    let events = engine.events_processed() - warm_events;
+    assert!(
+        events > 10_000,
+        "the window must actually exercise the loop"
+    );
+    assert_eq!(
+        delta.allocations, 0,
+        "steady-state event loop must not allocate (processed {events} events, \
+         allocated {} times / {} bytes)",
+        delta.allocations, delta.bytes
+    );
+    assert_eq!(delta.deallocations, 0, "nor free");
+}

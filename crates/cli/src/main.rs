@@ -70,6 +70,9 @@ struct RunOptions {
     max_reps: usize,
     /// Where to write the per-metric `stats.json`, if anywhere.
     stats_out: Option<String>,
+    /// Include the (nondeterministic) `events_per_sec` entry in
+    /// `stats.json`.
+    throughput: bool,
     /// Where to write the replication-0 JSONL trace, if anywhere.
     trace_out: Option<String>,
 }
@@ -100,6 +103,16 @@ impl RunOptions {
         }
         Ok(multi)
     }
+
+    /// The run point's `stats.json` document: deterministic by default,
+    /// with the wall-clock `events_per_sec` entry under `--throughput`.
+    fn stats_json(&self, multi: &MultiRun) -> String {
+        if self.throughput {
+            multi.stats_with_throughput().to_json()
+        } else {
+            multi.stats().to_json()
+        }
+    }
 }
 
 /// Writes a `stats.json` document, reporting where it went.
@@ -120,6 +133,7 @@ fn split_options(args: &[String]) -> Result<(Vec<&String>, RunOptions), String> 
         ci_target: None,
         max_reps: 64,
         stats_out: None,
+        throughput: false,
         trace_out: None,
     };
     let mut positional = Vec::new();
@@ -159,6 +173,9 @@ fn split_options(args: &[String]) -> Result<(Vec<&String>, RunOptions), String> 
             "--stats-out" => {
                 let v = iter.next().ok_or("--stats-out needs a value")?;
                 opts.stats_out = Some(v.clone());
+            }
+            "--throughput" => {
+                opts.throughput = true;
             }
             "--trace-out" => {
                 let v = iter.next().ok_or("--trace-out needs a value")?;
@@ -202,7 +219,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let multi = opts.execute(&cfg)?;
     print!("{}", render_report(&cfg, &multi));
     if let Some(path) = &opts.stats_out {
-        write_stats(path, &multi.stats().to_json())?;
+        write_stats(path, &opts.stats_json(&multi))?;
     }
     Ok(())
 }
@@ -234,7 +251,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
             format!("{}", multi.missed_work()),
         );
         if opts.stats_out.is_some() {
-            stats_entries.push((strategy.label(), multi.stats().to_json()));
+            stats_entries.push((strategy.label().into_owned(), opts.stats_json(&multi)));
         }
     }
     if let Some(path) = &opts.stats_out {
@@ -316,7 +333,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             format!("{}", multi.missed_work()),
         );
         if opts.stats_out.is_some() {
-            stats_entries.push((format!("{key}={value}"), multi.stats().to_json()));
+            stats_entries.push((format!("{key}={value}"), opts.stats_json(&multi)));
         }
     }
     if let Some(path) = &opts.stats_out {
@@ -424,6 +441,8 @@ fn print_help(topic: Option<&str>) {
          \x20                width ratio is <= R (capped by --max-reps)\n\
          \x20 --max-reps N   replication cap under --ci-target (default 64)\n\
          \x20 --stats-out F  write per-metric statistics to F as stats.json\n\
+         \x20 --throughput   add the wall-clock events_per_sec entry to\n\
+         \x20                stats.json (nondeterministic; off by default)\n\
          \x20 --trace-out F  (run only) write replication 0's event trace to F\n\
          \x20                as JSONL; the bytes do not depend on --jobs\n\n\
          examples:\n\
@@ -495,6 +514,17 @@ mod tests {
     }
 
     #[test]
+    fn split_options_throughput_flag() {
+        let none = strings(&[]);
+        let (_, opts) = split_options(&none).expect("no options is fine");
+        assert!(!opts.throughput, "deterministic stats.json by default");
+        let args = strings(&["--throughput"]);
+        let (positional, opts) = split_options(&args).unwrap();
+        assert!(positional.is_empty());
+        assert!(opts.throughput);
+    }
+
+    #[test]
     fn keyed_stats_nests_run_points() {
         let entries = vec![
             ("UD-UD".to_string(), "{}".to_string()),
@@ -520,6 +550,7 @@ mod tests {
             ci_target: Some(100.0),
             max_reps: 8,
             stats_out: None,
+            throughput: false,
             trace_out: None,
         };
         let multi = opts.execute(&cfg).unwrap();

@@ -8,8 +8,29 @@
 //! packages that statefulness: it walks the serial-parallel tree, emitting
 //! a [`Release`] (leaf + virtual deadline) whenever a simple subtask
 //! becomes executable.
+//!
+//! # Template / instance split
+//!
+//! A task *spec* describes a tree shape shared by every arrival of that
+//! task type, while the predicted execution times (`pex`) are drawn per
+//! arrival (the estimation model). The state is therefore split in two:
+//!
+//! * [`DecompTemplate`] — the immutable per-spec part: arena layout,
+//!   children lists (one flat array, sliced by range), leaf order. Built
+//!   once per spec and shared by every instance through an [`Arc`];
+//! * [`Decomposition`] — the small mutable per-instance part: activation
+//!   flags, serial/parallel progress counters, assigned deadlines, and
+//!   the per-instance `pex` aggregates (`subtree_pex` per node, plus the
+//!   per-serial-stage slices the SSP strategies consume, laid out
+//!   contiguously so a stage's "remaining pex" is a borrow, not a copy).
+//!
+//! An instance's buffers survive [`Decomposition::reset_from`], so a pool
+//! can recycle completed instances and the steady-state arrival path
+//! performs no heap allocation (see `sda-sim`'s process manager).
 
+use std::borrow::Cow;
 use std::fmt;
+use std::sync::Arc;
 
 use sda_model::TaskSpec;
 use sda_simcore::SimTime;
@@ -71,8 +92,39 @@ impl SdaStrategy {
     }
 
     /// A label like `EQF-DIV1` matching the paper's Table 2 naming.
-    pub fn label(&self) -> String {
-        format!("{}-{}", self.ssp.label(), self.psp.label().replace('-', ""))
+    ///
+    /// Borrowed (`&'static`) for every strategy the paper's experiment
+    /// grid uses — this is called in per-replication reporting, so the
+    /// common cases must not allocate. Exotic `DIV-x` factors fall back
+    /// to an owned string.
+    pub fn label(&self) -> Cow<'static, str> {
+        let psp: &'static str = match self.psp {
+            PspStrategy::Ud => "UD",
+            PspStrategy::Gf { .. } => "GF",
+            PspStrategy::DivX { x } => {
+                if x == 1.0 {
+                    "DIV1"
+                } else {
+                    let psp = self.psp.label();
+                    return Cow::Owned(format!("{}-{}", self.ssp.label(), psp.replace('-', "")));
+                }
+            }
+        };
+        Cow::Borrowed(match (self.ssp, psp) {
+            (SspStrategy::Ud, "UD") => "UD-UD",
+            (SspStrategy::Ud, "DIV1") => "UD-DIV1",
+            (SspStrategy::Ud, "GF") => "UD-GF",
+            (SspStrategy::Ed, "UD") => "ED-UD",
+            (SspStrategy::Ed, "DIV1") => "ED-DIV1",
+            (SspStrategy::Ed, "GF") => "ED-GF",
+            (SspStrategy::Eqs, "UD") => "EQS-UD",
+            (SspStrategy::Eqs, "DIV1") => "EQS-DIV1",
+            (SspStrategy::Eqs, "GF") => "EQS-GF",
+            (SspStrategy::Eqf, "UD") => "EQF-UD",
+            (SspStrategy::Eqf, "DIV1") => "EQF-DIV1",
+            (SspStrategy::Eqf, "GF") => "EQF-GF",
+            _ => unreachable!("psp label is one of the three above"),
+        })
     }
 }
 
@@ -92,31 +144,150 @@ pub struct Release {
     pub deadline: SimTime,
 }
 
-#[derive(Debug)]
-enum Kind {
+/// A `[start, start + len)` slice of [`DecompTemplate::children`].
+#[derive(Debug, Clone, Copy)]
+struct ChildRange {
+    start: u32,
+    len: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TemplateKind {
     Leaf {
-        leaf_index: usize,
+        leaf_index: u32,
     },
     Serial {
-        children: Vec<usize>,
-        next: usize,
+        children: ChildRange,
+        /// Offset of this node's stage-pex slice in
+        /// [`Decomposition::stage_pex`].
+        stage_start: u32,
     },
     Parallel {
-        children: Vec<usize>,
-        remaining: usize,
+        children: ChildRange,
     },
 }
 
+#[derive(Debug, Clone, Copy)]
+struct TemplateNode {
+    /// Arena index of the parent; `None` for the root. Parents always
+    /// precede children in the arena (depth-first build order).
+    parent: Option<u32>,
+    kind: TemplateKind,
+}
+
+/// The immutable, per-spec part of a decomposition: tree shape, children
+/// lists, and leaf order.
+///
+/// Built once per [`TaskSpec`] (the simulator caches one per spec in its
+/// workload table) and shared by every in-flight instance through an
+/// [`Arc`], so a task arrival constructs no tree — it only rebinds
+/// instance state with [`Decomposition::reset_from`].
 #[derive(Debug)]
-struct Node {
-    parent: Option<usize>,
-    kind: Kind,
-    /// Critical-path predicted execution time of this subtree (sum over
-    /// serial children, max over parallel children): the `pex(Tj)` the SSP
-    /// strategies consume when a stage is itself a complex subtask.
-    subtree_pex: f64,
+pub struct DecompTemplate {
+    nodes: Vec<TemplateNode>,
+    /// Children of all internal nodes, concatenated; each internal node
+    /// owns a [`ChildRange`] into this array.
+    children: Vec<u32>,
+    /// Maps leaf index (depth-first order) to arena node.
+    leaf_nodes: Vec<u32>,
+    root: usize,
+    /// Total length of the per-instance `stage_pex` buffer (the summed
+    /// arity of all serial nodes).
+    stage_pex_len: usize,
+}
+
+impl DecompTemplate {
+    /// Builds the shape template for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails [`TaskSpec::validate`].
+    pub fn new(spec: &TaskSpec) -> DecompTemplate {
+        spec.validate().expect("invalid task spec");
+        let mut t = DecompTemplate {
+            nodes: Vec::new(),
+            children: Vec::new(),
+            leaf_nodes: Vec::new(),
+            root: 0,
+            stage_pex_len: 0,
+        };
+        t.root = t.build(spec, None);
+        t
+    }
+
+    /// Number of simple subtasks.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_nodes.len()
+    }
+
+    /// A placeholder template (a single simple task), for default-
+    /// constructed pool slots that will be [`Decomposition::reset_from`]
+    /// before first use.
+    fn placeholder() -> Arc<DecompTemplate> {
+        Arc::new(DecompTemplate::new(&TaskSpec::simple()))
+    }
+
+    /// Builds the arena depth-first, returning the subtree root's index.
+    fn build(&mut self, spec: &TaskSpec, parent: Option<u32>) -> usize {
+        let idx = self.nodes.len();
+        self.nodes.push(TemplateNode {
+            parent,
+            kind: TemplateKind::Leaf { leaf_index: 0 }, // overwritten below
+        });
+        match spec {
+            TaskSpec::Simple => {
+                let leaf_index = self.leaf_nodes.len() as u32;
+                self.nodes[idx].kind = TemplateKind::Leaf { leaf_index };
+                self.leaf_nodes.push(idx as u32);
+            }
+            TaskSpec::Serial(children) => {
+                let range = self.build_children(children, idx);
+                let stage_start = self.stage_pex_len as u32;
+                self.stage_pex_len += range.len as usize;
+                self.nodes[idx].kind = TemplateKind::Serial {
+                    children: range,
+                    stage_start,
+                };
+            }
+            TaskSpec::Parallel(children) => {
+                let range = self.build_children(children, idx);
+                self.nodes[idx].kind = TemplateKind::Parallel { children: range };
+            }
+        }
+        idx
+    }
+
+    /// Builds the child subtrees of node `parent` and appends their root
+    /// indices to the flat `children` array (grandchildren land *before*
+    /// the range, keeping each node's children contiguous).
+    fn build_children(&mut self, specs: &[TaskSpec], parent: usize) -> ChildRange {
+        // The recursion interleaves grandchildren into `self.children`,
+        // so gather this node's direct children first. Template
+        // construction is per-spec setup, not the arrival hot path, so
+        // the temporary is fine.
+        let idxs: Vec<u32> = specs
+            .iter()
+            .map(|c| self.build(c, Some(parent as u32)) as u32)
+            .collect();
+        let start = self.children.len() as u32;
+        let len = idxs.len() as u32;
+        self.children.extend_from_slice(&idxs);
+        ChildRange { start, len }
+    }
+
+    fn children_of(&self, range: ChildRange) -> &[u32] {
+        &self.children[range.start as usize..(range.start + range.len) as usize]
+    }
+}
+
+/// Per-node mutable state of one instance.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeState {
     /// The (virtual) deadline assigned when this node was activated.
     deadline: SimTime,
+    /// Serial: index of the next stage to release. Parallel: number of
+    /// completed children.
+    progress: u32,
     activated: bool,
     done: bool,
 }
@@ -144,14 +315,37 @@ struct Node {
 /// }
 /// assert!(d.is_finished());
 /// ```
+///
+/// On the simulator's hot path, instances come from a pool: call
+/// [`Decomposition::reset_from`] with a cached [`DecompTemplate`] and the
+/// freshly drawn predictions, then [`Decomposition::start_into`] /
+/// [`Decomposition::complete_leaf_into`] with a reused scratch buffer —
+/// none of which allocate once the buffers reach capacity. The
+/// `new`/`start`/`complete_leaf` forms are convenience wrappers over the
+/// same machinery.
 #[derive(Debug)]
 pub struct Decomposition {
-    nodes: Vec<Node>,
-    /// Maps leaf index (depth-first order) to arena node.
-    leaf_nodes: Vec<usize>,
-    root: usize,
+    template: Arc<DecompTemplate>,
+    state: Vec<NodeState>,
+    /// Critical-path predicted execution time of each subtree (sum over
+    /// serial children, max over parallel children): the `pex(Tj)` the SSP
+    /// strategies consume when a stage is itself a complex subtask.
+    /// Indexed like `template.nodes`.
+    subtree_pex: Vec<f64>,
+    /// The children's `subtree_pex`, per serial node, in stage order —
+    /// laid out contiguously so "the pex of stages `s..`" is a slice
+    /// borrow at SSP-assignment time.
+    stage_pex: Vec<f64>,
     finished: bool,
     started: bool,
+}
+
+impl Default for Decomposition {
+    /// Placeholder storage for a pool slot; [`Decomposition::reset_from`]
+    /// must run before use.
+    fn default() -> Decomposition {
+        Decomposition::from_template(DecompTemplate::placeholder(), &[0.0])
+    }
 }
 
 impl Decomposition {
@@ -163,35 +357,98 @@ impl Decomposition {
     /// Panics if `spec` fails [`TaskSpec::validate`] or `leaf_pex` does not
     /// have exactly one entry per simple subtask.
     pub fn new(spec: &TaskSpec, leaf_pex: Vec<f64>) -> Decomposition {
-        spec.validate().expect("invalid task spec");
-        assert_eq!(
-            leaf_pex.len(),
-            spec.simple_count(),
-            "need one pex per simple subtask"
-        );
-        let mut nodes = Vec::new();
-        let mut leaf_nodes = Vec::new();
-        let mut cursor = 0usize;
-        let root = build(
-            spec,
-            None,
-            &leaf_pex,
-            &mut cursor,
-            &mut nodes,
-            &mut leaf_nodes,
-        );
-        Decomposition {
-            nodes,
-            leaf_nodes,
-            root,
+        Decomposition::from_template(Arc::new(DecompTemplate::new(spec)), &leaf_pex)
+    }
+
+    /// Builds an instance over a shared template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_pex` does not have exactly one entry per simple
+    /// subtask.
+    pub fn from_template(template: Arc<DecompTemplate>, leaf_pex: &[f64]) -> Decomposition {
+        let mut d = Decomposition {
+            template,
+            state: Vec::new(),
+            subtree_pex: Vec::new(),
+            stage_pex: Vec::new(),
             finished: false,
             started: false,
+        };
+        d.bind(leaf_pex);
+        d
+    }
+
+    /// Rebinds this instance to `template` with fresh predictions,
+    /// reusing its buffers (the pool-recycling path: no allocation when
+    /// the buffers already fit the template).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_pex` does not have exactly one entry per simple
+    /// subtask.
+    pub fn reset_from(&mut self, template: &Arc<DecompTemplate>, leaf_pex: &[f64]) {
+        if !Arc::ptr_eq(&self.template, template) {
+            self.template = Arc::clone(template);
         }
+        self.bind(leaf_pex);
+    }
+
+    /// (Re)initialises all instance state from the current template and
+    /// `leaf_pex`: clears flags, then recomputes the pex aggregates with
+    /// one reverse arena scan (every child precedes its parent in that
+    /// direction).
+    fn bind(&mut self, leaf_pex: &[f64]) {
+        let tpl = &self.template;
+        assert_eq!(
+            leaf_pex.len(),
+            tpl.leaf_count(),
+            "need one pex per simple subtask"
+        );
+        self.finished = false;
+        self.started = false;
+        self.state.clear();
+        self.state.resize(tpl.nodes.len(), NodeState::default());
+        self.subtree_pex.clear();
+        self.subtree_pex.resize(tpl.nodes.len(), 0.0);
+        self.stage_pex.clear();
+        self.stage_pex.resize(tpl.stage_pex_len, 0.0);
+        for idx in (0..tpl.nodes.len()).rev() {
+            match tpl.nodes[idx].kind {
+                TemplateKind::Leaf { leaf_index } => {
+                    self.subtree_pex[idx] = leaf_pex[leaf_index as usize];
+                }
+                TemplateKind::Serial {
+                    children,
+                    stage_start,
+                } => {
+                    let mut sum = 0.0;
+                    for (stage, &c) in tpl.children_of(children).iter().enumerate() {
+                        let pex = self.subtree_pex[c as usize];
+                        self.stage_pex[stage_start as usize + stage] = pex;
+                        sum += pex;
+                    }
+                    self.subtree_pex[idx] = sum;
+                }
+                TemplateKind::Parallel { children } => {
+                    self.subtree_pex[idx] = tpl
+                        .children_of(children)
+                        .iter()
+                        .map(|&c| self.subtree_pex[c as usize])
+                        .fold(0.0, f64::max);
+                }
+            }
+        }
+    }
+
+    /// The shared shape template this instance runs over.
+    pub fn template(&self) -> &Arc<DecompTemplate> {
+        &self.template
     }
 
     /// Number of simple subtasks.
     pub fn leaf_count(&self) -> usize {
-        self.leaf_nodes.len()
+        self.template.leaf_count()
     }
 
     /// Whether every simple subtask has completed.
@@ -201,7 +458,7 @@ impl Decomposition {
 
     /// The critical-path predicted execution time of the whole task.
     pub fn total_pex(&self) -> f64 {
-        self.nodes[self.root].subtree_pex
+        self.subtree_pex[self.template.root]
     }
 
     /// Starts the task at `now` with end-to-end deadline `deadline`,
@@ -217,11 +474,29 @@ impl Decomposition {
         deadline: SimTime,
         strategy: &SdaStrategy,
     ) -> Vec<Release> {
+        let mut out = Vec::new();
+        self.start_into(now, deadline, strategy, &mut out);
+        out
+    }
+
+    /// [`Decomposition::start`], writing the releases into `out`
+    /// (cleared first) instead of allocating a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start_into(
+        &mut self,
+        now: SimTime,
+        deadline: SimTime,
+        strategy: &SdaStrategy,
+        out: &mut Vec<Release>,
+    ) {
         assert!(!self.started, "decomposition already started");
         self.started = true;
-        let mut out = Vec::new();
-        self.activate(self.root, now, deadline, strategy, &mut out);
-        out
+        out.clear();
+        let root = self.template.root;
+        self.walk().activate(root, now, deadline, strategy, out);
     }
 
     /// Records that simple subtask `leaf` completed at `now`, returning
@@ -237,29 +512,71 @@ impl Decomposition {
         now: SimTime,
         strategy: &SdaStrategy,
     ) -> Vec<Release> {
+        let mut out = Vec::new();
+        self.complete_leaf_into(leaf, now, strategy, &mut out);
+        out
+    }
+
+    /// [`Decomposition::complete_leaf`], writing the releases into `out`
+    /// (cleared first) instead of allocating a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leaf index is out of range, the leaf was never
+    /// released, or it already completed.
+    pub fn complete_leaf_into(
+        &mut self,
+        leaf: usize,
+        now: SimTime,
+        strategy: &SdaStrategy,
+        out: &mut Vec<Release>,
+    ) {
         let node_idx = *self
+            .template
             .leaf_nodes
             .get(leaf)
-            .unwrap_or_else(|| panic!("leaf {leaf} out of range"));
+            .unwrap_or_else(|| panic!("leaf {leaf} out of range")) as usize;
         {
-            let node = &mut self.nodes[node_idx];
+            let node = &mut self.state[node_idx];
             assert!(node.activated, "leaf {leaf} completed before release");
             assert!(!node.done, "leaf {leaf} completed twice");
             node.done = true;
         }
-        let mut out = Vec::new();
-        self.bubble_completion(node_idx, now, strategy, &mut out);
-        out
+        out.clear();
+        self.walk().bubble_completion(node_idx, now, strategy, out);
     }
 
     /// The deadline most recently assigned to a leaf (for inspection).
     ///
     /// Returns `None` if the leaf has not been released yet.
     pub fn leaf_deadline(&self, leaf: usize) -> Option<SimTime> {
-        let node = &self.nodes[self.leaf_nodes[leaf]];
+        let node = &self.state[self.template.leaf_nodes[leaf] as usize];
         node.activated.then_some(node.deadline)
     }
 
+    /// Splits the instance into disjoint borrows for the recursive walk
+    /// (shared template and pex slices, mutable node state).
+    fn walk(&mut self) -> Walk<'_> {
+        Walk {
+            tpl: &self.template,
+            state: &mut self.state,
+            stage_pex: &self.stage_pex,
+            finished: &mut self.finished,
+        }
+    }
+}
+
+/// The borrow bundle for one activation/completion walk: the shape is
+/// read through `tpl`, only `state` (and the `finished` flag) mutate, so
+/// no per-step cloning of children lists is needed.
+struct Walk<'a> {
+    tpl: &'a DecompTemplate,
+    state: &'a mut [NodeState],
+    stage_pex: &'a [f64],
+    finished: &'a mut bool,
+}
+
+impl Walk<'_> {
     fn activate(
         &mut self,
         idx: usize,
@@ -269,27 +586,29 @@ impl Decomposition {
         out: &mut Vec<Release>,
     ) {
         {
-            let node = &mut self.nodes[idx];
+            let node = &mut self.state[idx];
             node.deadline = deadline;
             node.activated = true;
         }
-        match &self.nodes[idx].kind {
-            Kind::Leaf { leaf_index } => {
+        match self.tpl.nodes[idx].kind {
+            TemplateKind::Leaf { leaf_index } => {
                 out.push(Release {
-                    leaf: *leaf_index,
+                    leaf: leaf_index as usize,
                     deadline,
                 });
             }
-            Kind::Serial { children, next } => {
-                debug_assert_eq!(*next, 0, "fresh serial node");
-                let children = children.clone();
-                self.activate_serial_stage(idx, &children, 0, now, strategy, out);
+            TemplateKind::Serial {
+                children,
+                stage_start,
+            } => {
+                debug_assert_eq!(self.state[idx].progress, 0, "fresh serial node");
+                self.activate_serial_stage(idx, children, stage_start, 0, now, strategy, out);
             }
-            Kind::Parallel { children, .. } => {
-                let children = children.clone();
-                let n = children.len();
+            TemplateKind::Parallel { children } => {
+                let n = children.len as usize;
                 let child_dl = strategy.psp.assign(now, deadline, n);
-                for child in children {
+                for i in 0..n {
+                    let child = self.tpl.children[children.start as usize + i] as usize;
                     self.activate(child, now, child_dl, strategy, out);
                 }
             }
@@ -298,22 +617,23 @@ impl Decomposition {
 
     /// Applies the SSP strategy to stage `stage` of serial node `idx` and
     /// activates it.
+    #[allow(clippy::too_many_arguments)]
     fn activate_serial_stage(
         &mut self,
         idx: usize,
-        children: &[usize],
+        children: ChildRange,
+        stage_start: u32,
         stage: usize,
         now: SimTime,
         strategy: &SdaStrategy,
         out: &mut Vec<Release>,
     ) {
-        let deadline = self.nodes[idx].deadline;
-        let remaining_pex: Vec<f64> = children[stage..]
-            .iter()
-            .map(|&c| self.nodes[c].subtree_pex)
-            .collect();
-        let stage_dl = strategy.ssp.assign(now, deadline, &remaining_pex);
-        self.activate(children[stage], now, stage_dl, strategy, out);
+        let deadline = self.state[idx].deadline;
+        let lo = stage_start as usize + stage;
+        let hi = stage_start as usize + children.len as usize;
+        let stage_dl = strategy.ssp.assign(now, deadline, &self.stage_pex[lo..hi]);
+        let child = self.tpl.children[children.start as usize + stage] as usize;
+        self.activate(child, now, stage_dl, strategy, out);
     }
 
     fn bubble_completion(
@@ -323,88 +643,43 @@ impl Decomposition {
         strategy: &SdaStrategy,
         out: &mut Vec<Release>,
     ) {
-        let Some(parent) = self.nodes[idx].parent else {
-            self.finished = true;
+        let Some(parent) = self.tpl.nodes[idx].parent else {
+            *self.finished = true;
             return;
         };
-        match &mut self.nodes[parent].kind {
-            Kind::Serial { children, next } => {
-                *next += 1;
-                let stage = *next;
-                let children = children.clone();
-                if stage < children.len() {
-                    self.activate_serial_stage(parent, &children, stage, now, strategy, out);
+        let parent = parent as usize;
+        match self.tpl.nodes[parent].kind {
+            TemplateKind::Serial {
+                children,
+                stage_start,
+            } => {
+                self.state[parent].progress += 1;
+                let stage = self.state[parent].progress as usize;
+                if stage < children.len as usize {
+                    self.activate_serial_stage(
+                        parent,
+                        children,
+                        stage_start,
+                        stage,
+                        now,
+                        strategy,
+                        out,
+                    );
                 } else {
-                    self.nodes[parent].done = true;
+                    self.state[parent].done = true;
                     self.bubble_completion(parent, now, strategy, out);
                 }
             }
-            Kind::Parallel { remaining, .. } => {
-                *remaining -= 1;
-                if *remaining == 0 {
-                    self.nodes[parent].done = true;
+            TemplateKind::Parallel { children } => {
+                self.state[parent].progress += 1;
+                if self.state[parent].progress == children.len {
+                    self.state[parent].done = true;
                     self.bubble_completion(parent, now, strategy, out);
                 }
             }
-            Kind::Leaf { .. } => unreachable!("a leaf cannot be a parent"),
+            TemplateKind::Leaf { .. } => unreachable!("a leaf cannot be a parent"),
         }
     }
-}
-
-/// Builds the arena depth-first, returning the index of the subtree root.
-fn build(
-    spec: &TaskSpec,
-    parent: Option<usize>,
-    leaf_pex: &[f64],
-    cursor: &mut usize,
-    nodes: &mut Vec<Node>,
-    leaf_nodes: &mut Vec<usize>,
-) -> usize {
-    let idx = nodes.len();
-    nodes.push(Node {
-        parent,
-        kind: Kind::Leaf { leaf_index: 0 }, // overwritten below
-        subtree_pex: 0.0,
-        deadline: SimTime::ZERO,
-        activated: false,
-        done: false,
-    });
-    match spec {
-        TaskSpec::Simple => {
-            let leaf_index = *cursor;
-            *cursor += 1;
-            nodes[idx].kind = Kind::Leaf { leaf_index };
-            nodes[idx].subtree_pex = leaf_pex[leaf_index];
-            leaf_nodes.push(idx);
-        }
-        TaskSpec::Serial(children) => {
-            let child_idxs: Vec<usize> = children
-                .iter()
-                .map(|c| build(c, Some(idx), leaf_pex, cursor, nodes, leaf_nodes))
-                .collect();
-            nodes[idx].subtree_pex = child_idxs.iter().map(|&c| nodes[c].subtree_pex).sum();
-            nodes[idx].kind = Kind::Serial {
-                children: child_idxs,
-                next: 0,
-            };
-        }
-        TaskSpec::Parallel(children) => {
-            let child_idxs: Vec<usize> = children
-                .iter()
-                .map(|c| build(c, Some(idx), leaf_pex, cursor, nodes, leaf_nodes))
-                .collect();
-            nodes[idx].subtree_pex = child_idxs
-                .iter()
-                .map(|&c| nodes[c].subtree_pex)
-                .fold(0.0, f64::max);
-            let remaining = child_idxs.len();
-            nodes[idx].kind = Kind::Parallel {
-                children: child_idxs,
-                remaining,
-            };
-        }
-    }
-    idx
 }
 
 #[cfg(test)]
@@ -579,6 +854,63 @@ mod tests {
     }
 
     #[test]
+    fn shared_template_instances_are_independent() {
+        // Two instances over ONE template, different predictions: each
+        // must see its own pex, and progress must not bleed across.
+        let spec = TaskSpec::serial(vec![TaskSpec::parallel_simple(2), TaskSpec::simple()]);
+        let tpl = Arc::new(DecompTemplate::new(&spec));
+        let strategy = SdaStrategy {
+            ssp: SspStrategy::Eqf,
+            psp: PspStrategy::Ud,
+        };
+        let mut a = Decomposition::from_template(Arc::clone(&tpl), &[3.0, 5.0, 2.0]);
+        let mut b = Decomposition::from_template(Arc::clone(&tpl), &[1.0, 1.0, 1.0]);
+        assert_eq!(a.total_pex(), 7.0);
+        assert_eq!(b.total_pex(), 2.0);
+        // Same walkthrough as `complex_stage_pex_is_max_of_branches`.
+        let first = a.start(t(0.0), t(14.0), &strategy);
+        for r in &first {
+            assert_eq!(r.deadline, t(10.0));
+        }
+        // b is untouched by a's progress.
+        let first_b = b.start(t(0.0), t(14.0), &strategy);
+        assert_eq!(first_b.len(), 2);
+        for r in &first_b {
+            // slack_left = 14 - 2 = 12; stage 1 share 1/2 -> dl = 1 + 6 = 7.
+            assert_eq!(r.deadline, t(7.0));
+        }
+    }
+
+    #[test]
+    fn reset_from_reuses_an_instance() {
+        // Run an instance to completion, reset it over a *different*
+        // template, and check it behaves exactly like a fresh build.
+        let strategy = SdaStrategy::eqf_div1();
+        let spec1 = TaskSpec::parallel_simple(3);
+        let mut d = Decomposition::new(&spec1, vec![1.0; 3]);
+        for r in d.start(t(0.0), t(9.0), &strategy) {
+            d.complete_leaf(r.leaf, t(1.0), &strategy);
+        }
+        assert!(d.is_finished());
+
+        let spec2 = TaskSpec::pipeline_with_fanout(5, &[(1, 4), (3, 4)]);
+        let tpl2 = Arc::new(DecompTemplate::new(&spec2));
+        d.reset_from(&tpl2, &[1.0; 11]);
+        assert!(!d.is_finished());
+        assert_eq!(d.leaf_count(), 11);
+        assert_eq!(d.total_pex(), 5.0);
+        let mut out = Vec::new();
+        d.start_into(t(0.0), t(25.0), &strategy, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].deadline, t(5.0), "same walkthrough as figure 14");
+
+        // Reset again with the SAME template (the pool fast path).
+        d.reset_from(&tpl2, &[2.0; 11]);
+        assert_eq!(d.total_pex(), 10.0);
+        assert_eq!(d.leaf_deadline(0), None, "activation state cleared");
+    }
+
+    #[test]
     #[should_panic(expected = "already started")]
     fn double_start_panics() {
         let mut d = Decomposition::new(&TaskSpec::simple(), vec![1.0]);
@@ -615,8 +947,27 @@ mod tests {
 
     #[test]
     fn strategy_labels_match_table2() {
-        let labels: Vec<String> = SdaStrategy::table2().iter().map(|s| s.label()).collect();
+        let labels: Vec<String> = SdaStrategy::table2()
+            .iter()
+            .map(|s| s.label().into_owned())
+            .collect();
         assert_eq!(labels, vec!["UD-UD", "UD-DIV1", "EQF-UD", "EQF-DIV1"]);
         assert_eq!(SdaStrategy::eqf_div1().to_string(), "EQF-DIV1");
+    }
+
+    #[test]
+    fn table2_labels_do_not_allocate() {
+        for s in SdaStrategy::table2() {
+            assert!(
+                matches!(s.label(), Cow::Borrowed(_)),
+                "{s} label must be borrowed: it runs in per-replication reporting"
+            );
+        }
+        // An exotic factor still formats correctly (owned).
+        let odd = SdaStrategy {
+            ssp: SspStrategy::Eqf,
+            psp: PspStrategy::div(2.5),
+        };
+        assert_eq!(odd.label(), "EQF-DIV2.5");
     }
 }

@@ -40,7 +40,7 @@ mod estimate;
 mod psp;
 mod ssp;
 
-pub use decompose::{Decomposition, Release, SdaStrategy};
+pub use decompose::{DecompTemplate, Decomposition, Release, SdaStrategy};
 pub use estimate::EstimationModel;
 pub use psp::{PspStrategy, DEFAULT_GF_DELTA};
 pub use ssp::SspStrategy;

@@ -1,5 +1,6 @@
 //! Strategies for the parallel subtask problem (§4.1).
 
+use std::borrow::Cow;
 use std::fmt;
 
 use sda_simcore::SimTime;
@@ -93,17 +94,23 @@ impl PspStrategy {
     }
 
     /// A short machine-friendly label (`UD`, `DIV-1`, `DIV-2.5`, `GF`).
-    pub fn label(&self) -> String {
+    ///
+    /// Borrowed for the variants the paper's experiment grid uses (`UD`,
+    /// `DIV-1`, `GF`) so per-replication reporting does not allocate;
+    /// other `DIV-x` factors format an owned string.
+    pub fn label(&self) -> Cow<'static, str> {
         match *self {
-            PspStrategy::Ud => "UD".to_string(),
+            PspStrategy::Ud => Cow::Borrowed("UD"),
             PspStrategy::DivX { x } => {
-                if (x - x.round()).abs() < 1e-12 {
-                    format!("DIV-{}", x.round() as i64)
+                if x == 1.0 {
+                    Cow::Borrowed("DIV-1")
+                } else if (x - x.round()).abs() < 1e-12 {
+                    Cow::Owned(format!("DIV-{}", x.round() as i64))
                 } else {
-                    format!("DIV-{x}")
+                    Cow::Owned(format!("DIV-{x}"))
                 }
             }
-            PspStrategy::Gf { .. } => "GF".to_string(),
+            PspStrategy::Gf { .. } => Cow::Borrowed("GF"),
         }
     }
 }

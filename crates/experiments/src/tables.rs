@@ -49,9 +49,9 @@ pub fn table2() -> Table {
     );
     for strategy in SdaStrategy::table2() {
         t.row(&[
-            strategy.label(),
+            strategy.label().into_owned(),
             strategy.ssp.label().to_string(),
-            strategy.psp.label(),
+            strategy.psp.label().into_owned(),
         ]);
     }
     t

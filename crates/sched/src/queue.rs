@@ -1,9 +1,10 @@
 //! Ready-queue implementations.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
+use sda_simcore::hash::FastHashMap;
 use sda_simcore::SimTime;
 
 /// The local scheduling policy of a node.
@@ -68,32 +69,43 @@ impl<T> QueuedTask<T> {
     }
 }
 
-/// The payload and metadata of one waiting task, owned by the
-/// insertion-order slab.
+/// Marks a slab slot as free: no ordering entry can match it, because
+/// sequence numbers are issued counting up from zero.
+const SEQ_FREE: u64 = u64::MAX;
+
+/// The payload and metadata of one waiting task, owned by the slot slab.
+///
+/// `seq` doubles as the slot's generation stamp: an ordering entry (which
+/// records the `(slot, seq)` pair it was issued for) is stale exactly when
+/// the slot's current `seq` differs — the task was popped or removed, and
+/// the slot possibly reused. [`SEQ_FREE`] marks a vacant slot.
 struct Slot<T> {
+    seq: u64,
     deadline: SimTime,
     service_estimate: f64,
     /// The caller-supplied removal key, if the task was pushed keyed.
     key: Option<u64>,
-    item: T,
+    item: Option<T>,
 }
 
 impl<T> Slot<T> {
-    fn into_task(self) -> QueuedTask<T> {
+    fn into_task(deadline: SimTime, service_estimate: f64, item: T) -> QueuedTask<T> {
         QueuedTask {
-            deadline: self.deadline,
-            service_estimate: self.service_estimate,
-            item: self.item,
+            deadline,
+            service_estimate,
+            item,
         }
     }
 }
 
-/// Heap entry: the policy's ordering key plus the insertion sequence
-/// number for FIFO tie-breaking. The payload lives in the slab, so
-/// removed tasks leave only a stale `OrderEntry` behind, skipped lazily.
+/// Heap entry: the policy's ordering key, the insertion sequence number
+/// for FIFO tie-breaking, and the slab slot holding the payload. Removed
+/// tasks leave only a stale `OrderEntry` behind (its `seq` no longer
+/// matches the slot's), skipped lazily.
 struct OrderEntry {
     rank: f64,
     seq: u64,
+    slot: u32,
 }
 
 impl PartialEq for OrderEntry {
@@ -132,20 +144,32 @@ impl Ord for OrderEntry {
 ///
 /// Abortion (§7.3) pulls specific tasks out of the middle of a queue.
 /// Tasks pushed with [`ReadyQueue::push_keyed`] can be removed by key in
-/// O(1) via [`ReadyQueue::remove_key`]: the payload lives in an
-/// insertion-order slab, so removal only detaches the payload and leaves
-/// a stale ordering entry behind, which `pop` skips lazily (amortized
-/// O(log n)). The predicate form [`ReadyQueue::remove_by`] remains
-/// available for callers without a key, at O(n) scan cost.
+/// O(1) via [`ReadyQueue::remove_key`]: the payload lives in a slot slab,
+/// so removal only detaches the payload and leaves a stale ordering entry
+/// behind, which `pop` skips lazily (amortized O(log n)). The predicate
+/// form [`ReadyQueue::remove_by`] remains available for callers without a
+/// key, at O(n) scan cost.
+///
+/// # Hot-path layout
+///
+/// Payloads live in a generation-stamped `Vec` slab indexed directly by
+/// the slot number each ordering entry carries, so the steady-state
+/// push/pop cycle does no hashing; only the caller-key index (sparse ids)
+/// is a hash map, touched for keyed pushes alone. Freed slots are reused
+/// via a free list, bounding the slab by the queue's high-water mark.
 pub struct ReadyQueue<T> {
     policy: Policy,
     heap: BinaryHeap<OrderEntry>,
-    fifo: VecDeque<u64>,
-    /// Insertion-order slab: seq → payload. A task is waiting iff its
-    /// seq is present here.
-    alive: HashMap<u64, Slot<T>>,
-    /// Caller key → seq, for O(1) targeted removal.
-    by_key: HashMap<u64, u64>,
+    fifo: VecDeque<(u32, u64)>,
+    /// Slot slab: payloads plus generation stamps, reused via `free`.
+    slots: Vec<Slot<T>>,
+    /// Freed slot indices awaiting reuse.
+    free: Vec<u32>,
+    /// Caller key → slab slot, for O(1) targeted removal. Only live
+    /// keyed tasks are present (detaching removes the entry eagerly).
+    by_key: FastHashMap<u64, u32>,
+    /// Number of waiting (live) tasks.
+    live: usize,
     next_seq: u64,
 }
 
@@ -156,8 +180,10 @@ impl<T> ReadyQueue<T> {
             policy,
             heap: BinaryHeap::new(),
             fifo: VecDeque::new(),
-            alive: HashMap::new(),
-            by_key: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            by_key: FastHashMap::default(),
+            live: 0,
             next_seq: 0,
         }
     }
@@ -169,12 +195,19 @@ impl<T> ReadyQueue<T> {
 
     /// Number of waiting tasks.
     pub fn len(&self) -> usize {
-        self.alive.len()
+        self.live
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.alive.is_empty()
+        self.live == 0
+    }
+
+    /// Whether the ordering entry `(slot, seq)` still refers to a waiting
+    /// task (its slot has not been detached or reused since).
+    #[inline]
+    fn is_live(&self, slot: u32, seq: u64) -> bool {
+        self.slots[slot as usize].seq == seq
     }
 
     /// Enqueues a task.
@@ -211,78 +244,109 @@ impl<T> ReadyQueue<T> {
             Policy::Sjf => task.service_estimate,
             Policy::Llf => task.deadline.value() - task.service_estimate,
         };
+        let state = Slot {
+            seq,
+            deadline: task.deadline,
+            service_estimate: task.service_estimate,
+            key,
+            item: Some(task.item),
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = state;
+                slot
+            }
+            None => {
+                self.slots.push(state);
+                (self.slots.len() - 1) as u32
+            }
+        };
         if let Some(key) = key {
-            let prev = self.by_key.insert(key, seq);
+            let prev = self.by_key.insert(key, slot);
             assert!(prev.is_none(), "duplicate queue key {key}");
         }
-        self.alive.insert(
-            seq,
-            Slot {
-                deadline: task.deadline,
-                service_estimate: task.service_estimate,
-                key,
-                item: task.item,
-            },
-        );
         match self.policy {
-            Policy::Fcfs => self.fifo.push_back(seq),
-            _ => self.heap.push(OrderEntry { rank, seq }),
+            Policy::Fcfs => self.fifo.push_back((slot, seq)),
+            _ => self.heap.push(OrderEntry { rank, seq, slot }),
         }
+        self.live += 1;
     }
 
     /// Discards stale ordering entries at the head so the head is always
     /// a live task (keeps [`ReadyQueue::peek_deadline`] O(1) and
     /// borrow-free), and rebuilds the order structure when stale entries
     /// outnumber live ones (bounds memory after removal storms).
+    ///
+    /// Steady-state allocation audit: neither arm allocates. The head
+    /// discard loop only pops; `VecDeque::retain` compacts in place; and
+    /// the heap rebuild round-trips the *existing* backing `Vec` through
+    /// `mem::take(..).into_vec()` / `retain` / `.into()` (heapify), all
+    /// of which reuse the allocation. After the warmup transient grows
+    /// the containers to their high-water marks, `settle` runs
+    /// allocation-free — asserted end to end by the `steady_state_alloc`
+    /// test in `sda-bench`.
     fn settle(&mut self) {
         match self.policy {
             Policy::Fcfs => {
-                while let Some(seq) = self.fifo.front() {
-                    if self.alive.contains_key(seq) {
+                while let Some(&(slot, seq)) = self.fifo.front() {
+                    if self.is_live(slot, seq) {
                         break;
                     }
                     self.fifo.pop_front();
                 }
-                if self.fifo.len() > 2 * self.alive.len() + 64 {
-                    self.fifo.retain(|seq| self.alive.contains_key(seq));
+                if self.fifo.len() > 2 * self.live + 64 {
+                    let slots = &self.slots;
+                    self.fifo
+                        .retain(|&(slot, seq)| slots[slot as usize].seq == seq);
                 }
             }
             _ => {
                 while let Some(top) = self.heap.peek() {
-                    if self.alive.contains_key(&top.seq) {
+                    if self.is_live(top.slot, top.seq) {
                         break;
                     }
                     self.heap.pop();
                 }
-                if self.heap.len() > 2 * self.alive.len() + 64 {
+                if self.heap.len() > 2 * self.live + 64 {
                     let mut entries = std::mem::take(&mut self.heap).into_vec();
-                    entries.retain(|e| self.alive.contains_key(&e.seq));
+                    let slots = &self.slots;
+                    entries.retain(|e| slots[e.slot as usize].seq == e.seq);
                     self.heap = entries.into();
                 }
             }
         }
     }
 
-    /// Detaches a live slot, fixing the key index. The ordering entry
-    /// stays behind as a stale tombstone.
-    fn detach(&mut self, seq: u64) -> Option<Slot<T>> {
-        let slot = self.alive.remove(&seq)?;
-        if let Some(key) = slot.key {
+    /// Detaches a live slot: takes the payload, frees the slot (stamping
+    /// it so outstanding ordering entries read as stale), and fixes the
+    /// key index.
+    fn detach(&mut self, slot: u32) -> QueuedTask<T> {
+        let state = &mut self.slots[slot as usize];
+        state.seq = SEQ_FREE;
+        let item = state.item.take().expect("detach requires a live slot");
+        let task = Slot::into_task(state.deadline, state.service_estimate, item);
+        if let Some(key) = state.key {
             self.by_key.remove(&key);
         }
-        Some(slot)
+        self.free.push(slot);
+        self.live -= 1;
+        task
     }
 
     /// Dequeues the next task to serve according to the policy.
     pub fn pop(&mut self) -> Option<QueuedTask<T>> {
         loop {
-            let seq = match self.policy {
+            let (slot, seq) = match self.policy {
                 Policy::Fcfs => self.fifo.pop_front()?,
-                _ => self.heap.pop()?.seq,
+                _ => {
+                    let e = self.heap.pop()?;
+                    (e.slot, e.seq)
+                }
             };
-            if let Some(slot) = self.detach(seq) {
+            if self.is_live(slot, seq) {
+                let task = self.detach(slot);
                 self.settle();
-                return Some(slot.into_task());
+                return Some(task);
             }
         }
     }
@@ -290,24 +354,21 @@ impl<T> ReadyQueue<T> {
     /// The deadline of the task that would be served next (None if empty).
     pub fn peek_deadline(&self) -> Option<SimTime> {
         // The head is always live (settled after every removal).
-        let seq = match self.policy {
-            Policy::Fcfs => *self.fifo.front()?,
-            _ => self.heap.peek()?.seq,
+        let slot = match self.policy {
+            Policy::Fcfs => self.fifo.front()?.0,
+            _ => self.heap.peek()?.slot,
         };
-        self.alive.get(&seq).map(|s| s.deadline)
+        Some(self.slots[slot as usize].deadline)
     }
 
     /// Removes the task pushed under `key` (via
     /// [`ReadyQueue::push_keyed`]) and returns it. O(1); the stale
     /// ordering entry is skipped lazily by later pops.
     pub fn remove_key(&mut self, key: u64) -> Option<QueuedTask<T>> {
-        let seq = self.by_key.remove(&key)?;
-        let slot = self
-            .alive
-            .remove(&seq)
-            .expect("key index maps to a live slot");
+        let slot = self.by_key.remove(&key)?;
+        let task = self.detach(slot);
         self.settle();
-        Some(slot.into_task())
+        Some(task)
     }
 
     /// Removes the first waiting task whose payload satisfies `pred` and
@@ -320,21 +381,26 @@ impl<T> ReadyQueue<T> {
     where
         F: FnMut(&T) -> bool,
     {
-        let seq = match self.policy {
+        let slots = &self.slots;
+        let mut check = |slot: u32, seq: u64| {
+            let s = &slots[slot as usize];
+            s.seq == seq && pred(s.item.as_ref().expect("live slot has a payload"))
+        };
+        let slot = match self.policy {
             Policy::Fcfs => self
                 .fifo
                 .iter()
-                .copied()
-                .find(|seq| self.alive.get(seq).is_some_and(|s| pred(&s.item))),
+                .find(|&&(slot, seq)| check(slot, seq))
+                .map(|&(slot, _)| slot),
             _ => self
                 .heap
                 .iter()
-                .map(|e| e.seq)
-                .find(|seq| self.alive.get(seq).is_some_and(|s| pred(&s.item))),
+                .find(|e| check(e.slot, e.seq))
+                .map(|e| e.slot),
         }?;
-        let slot = self.detach(seq).expect("scan only visits live slots");
+        let task = self.detach(slot);
         self.settle();
-        Some(slot.into_task())
+        Some(task)
     }
 
     /// Drains the queue, returning the remaining tasks in service order.
@@ -351,9 +417,16 @@ impl<T> ReadyQueue<T> {
     pub fn iter_items(&self) -> impl Iterator<Item = &T> {
         self.heap
             .iter()
-            .map(|e| e.seq)
+            .map(|e| (e.slot, e.seq))
             .chain(self.fifo.iter().copied())
-            .filter_map(|seq| self.alive.get(&seq).map(|s| &s.item))
+            .filter_map(|(slot, seq)| {
+                let s = &self.slots[slot as usize];
+                if s.seq == seq {
+                    s.item.as_ref()
+                } else {
+                    None
+                }
+            })
     }
 }
 

@@ -26,7 +26,12 @@ pub(crate) enum LeafState {
 }
 
 /// One in-flight global task.
-#[derive(Debug)]
+///
+/// Instance storage is pooled: [`ProcessManager::recycle`] clears the
+/// per-leaf vectors (keeping their capacity) and parks the instance for
+/// [`ProcessManager::checkout`] to hand back at the next arrival, so the
+/// steady-state arrival path reuses buffers instead of allocating.
+#[derive(Debug, Default)]
 pub(crate) struct GlobalInstance {
     pub ar: SimTime,
     /// Real end-to-end deadline (Equation 2 / its serial-parallel
@@ -53,6 +58,23 @@ impl GlobalInstance {
     pub fn leaves(&self) -> usize {
         self.leaf_state.len()
     }
+
+    /// Empties the per-leaf vectors and scalar state, keeping every
+    /// buffer's capacity (including the decomposition's, which is
+    /// rebound by `Decomposition::reset_from` on reuse).
+    fn clear(&mut self) {
+        self.ar = SimTime::ZERO;
+        self.dl = SimTime::ZERO;
+        self.leaf_node.clear();
+        self.leaf_ex.clear();
+        self.leaf_pex.clear();
+        self.leaf_state.clear();
+        self.leaf_job.clear();
+        self.leaf_resubmitted.clear();
+        self.work_done = 0.0;
+        self.pm_timer = None;
+        self.counted = false;
+    }
 }
 
 /// The slot table of in-flight global tasks. Slots are recycled after
@@ -62,6 +84,10 @@ impl GlobalInstance {
 pub(crate) struct ProcessManager {
     globals: Vec<Option<GlobalInstance>>,
     free_slots: Vec<usize>,
+    /// Recycled instance storage awaiting reuse. Bounded by the maximum
+    /// number of concurrently live globals, so it cannot grow past what
+    /// the run already needed.
+    spares: Vec<GlobalInstance>,
 }
 
 impl ProcessManager {
@@ -108,6 +134,18 @@ impl ProcessManager {
     /// Number of global tasks currently in flight.
     pub fn active(&self) -> usize {
         self.globals.iter().filter(|g| g.is_some()).count()
+    }
+
+    /// Hands out recycled instance storage (cleared, but with warm
+    /// buffer capacities), or fresh empty storage if the pool is dry.
+    pub fn checkout(&mut self) -> GlobalInstance {
+        self.spares.pop().unwrap_or_default()
+    }
+
+    /// Returns a finished/aborted instance's storage to the spare pool.
+    pub fn recycle(&mut self, mut g: GlobalInstance) {
+        g.clear();
+        self.spares.push(g);
     }
 }
 
@@ -162,6 +200,22 @@ mod tests {
         assert!(pm.get_mut(s).is_some());
         pm.finish(s);
         assert!(pm.get_mut(s).is_none());
+    }
+
+    #[test]
+    fn recycled_instances_come_back_cleared_with_capacity() {
+        let mut pm = ProcessManager::new();
+        let mut g = instance(3);
+        g.work_done = 5.0;
+        g.counted = true;
+        pm.recycle(g);
+        let g = pm.checkout();
+        assert_eq!(g.leaves(), 0, "recycled state is empty");
+        assert_eq!(g.work_done, 0.0);
+        assert!(!g.counted);
+        assert!(g.leaf_node.capacity() >= 3, "buffers keep their capacity");
+        // The pool is dry now: checkout falls back to fresh storage.
+        assert_eq!(pm.checkout().leaves(), 0);
     }
 
     #[test]

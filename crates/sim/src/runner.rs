@@ -66,6 +66,12 @@ pub struct RunResult {
     pub duration: f64,
     /// The seed the run used.
     pub seed: u64,
+    /// Wall-clock seconds the engine loop took (excluding setup and
+    /// result extraction). Nondeterministic — machine- and load-
+    /// dependent — which is why throughput is kept out of the default
+    /// [`MultiRun::stats`] report and surfaced only by the explicit
+    /// [`MultiRun::stats_with_throughput`].
+    pub wall_secs: f64,
 }
 
 impl RunResult {
@@ -75,6 +81,16 @@ impl RunResult {
             return 0.0;
         }
         self.busy.iter().sum::<f64>() / (self.busy.len() as f64 * self.duration)
+    }
+
+    /// Events processed per wall-clock second (0 if the run was too
+    /// fast for the clock to resolve).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
     }
 }
 
@@ -349,7 +365,9 @@ fn run_single(
     }
     let mut engine = Engine::new();
     sim.prime(&mut engine);
+    let started = std::time::Instant::now();
     engine.run_until(&mut sim, SimTime::from(cfg.duration));
+    let wall_secs = started.elapsed().as_secs_f64();
     if let Some(mut sink) = sim.take_sink() {
         sink.flush();
     }
@@ -369,6 +387,7 @@ fn run_single(
         node_stats,
         duration,
         seed,
+        wall_secs,
     })
 }
 
@@ -426,7 +445,9 @@ fn run_batch_means_impl(
     }
     let mut engine = Engine::new();
     sim.prime(&mut engine);
+    let started = std::time::Instant::now();
     engine.run_until(&mut sim, SimTime::from(cfg.duration));
+    let wall_secs = started.elapsed().as_secs_f64();
     if let Some(mut sink) = sim.take_sink() {
         sink.flush();
     }
@@ -446,6 +467,7 @@ fn run_batch_means_impl(
         node_stats,
         duration,
         seed,
+        wall_secs,
     };
     let acc = Arc::try_unwrap(acc)
         .expect("batch closure dropped with the sink")
@@ -548,6 +570,13 @@ impl MultiRun {
         self.estimate(RunResult::utilization)
     }
 
+    /// Engine throughput (events per wall-clock second) across
+    /// replications. Nondeterministic: depends on the machine and its
+    /// load, never on the seed.
+    pub fn events_per_sec(&self) -> Estimate {
+        self.estimate(RunResult::events_per_sec)
+    }
+
     /// Pools the raw metrics of all runs (counter-level merge).
     pub fn pooled_metrics(&self) -> Metrics {
         let mut pooled = Metrics::new();
@@ -582,6 +611,21 @@ impl MultiRun {
             ],
             per_node,
         }
+    }
+
+    /// [`MultiRun::stats`] plus an `events_per_sec` throughput entry.
+    ///
+    /// Kept separate from the default report on purpose: wall-clock
+    /// throughput varies run to run, and `stats.json` is otherwise
+    /// bit-identical for a given seed (the golden-determinism contract).
+    /// Callers who want the perf number in their `stats.json` opt in
+    /// (the CLI's `--throughput` flag does).
+    pub fn stats_with_throughput(&self) -> StatsReport {
+        let mut report = self.stats();
+        report
+            .entries
+            .push(("events_per_sec", self.summary_of(RunResult::events_per_sec)));
+        report
     }
 }
 

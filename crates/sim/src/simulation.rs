@@ -9,7 +9,7 @@
 //! (§7.3, [`crate::pm`]); all randomness lives in [`crate::workload`],
 //! and observability flows through a [`TraceSink`] ([`crate::trace`]).
 
-use sda_core::Decomposition;
+use sda_core::Release;
 use sda_simcore::rng::Rng;
 use sda_simcore::stats::NodeStats;
 use sda_simcore::{Engine, Model, SimTime};
@@ -17,7 +17,7 @@ use sda_simcore::{Engine, Model, SimTime};
 use crate::config::{AbortPolicy, ConfigError, ResubmitPolicy, SimConfig};
 use crate::metrics::Metrics;
 use crate::node::{InService, Job, LocalJob, Node, SubtaskJob};
-use crate::pm::{GlobalInstance, LeafState, ProcessManager};
+use crate::pm::{LeafState, ProcessManager};
 use crate::trace::{TraceEvent, TraceSink};
 use crate::workload::Workload;
 
@@ -78,6 +78,21 @@ pub struct Simulation {
     warmup: SimTime,
     /// Optional trace sink (None = zero-cost tracing off).
     sink: Option<Box<dyn TraceSink>>,
+    scratch: Scratch,
+}
+
+/// Reusable buffers for the arrival/completion hot path. Each user takes
+/// a buffer with `mem::take` and puts it back when done, so a re-entrant
+/// call (abort cascades can nest) sees an empty default instead of
+/// aliasing live contents — at worst it allocates on that rare path.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Per-node backlog snapshot for placement.
+    backlog: Vec<usize>,
+    /// Releases produced by one `start_into`/`complete_leaf_into` call.
+    releases: Vec<Release>,
+    /// Nodes idled by a global-task teardown, to re-dispatch.
+    idle_nodes: Vec<usize>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -118,6 +133,7 @@ impl Simulation {
             next_job_id: 0,
             warmup: SimTime::from(cfg.warmup),
             sink: None,
+            scratch: Scratch::default(),
             cfg,
         })
     }
@@ -235,48 +251,45 @@ impl Simulation {
             return;
         }
 
-        // Pick the shape and draw executions, predictions and the slack;
-        // derive the end-to-end deadline from the critical path
-        // (Equation 2).
-        let draw = self.workload.draw_global(&self.cfg.shape);
-        let leaves = self.workload.spec(draw.spec_idx).simple_count();
-        let dl = now
-            + (self
-                .workload
-                .spec(draw.spec_idx)
-                .critical_path(&draw.leaf_ex)
-                + draw.slack);
+        // Pick the shape and draw executions, predictions and the slack
+        // into pooled instance storage (no per-arrival vectors); derive
+        // the end-to-end deadline from the critical path (Equation 2).
+        let mut g = self.pm.checkout();
+        let (spec_idx, slack) =
+            self.workload
+                .draw_global_into(&self.cfg.shape, &mut g.leaf_ex, &mut g.leaf_pex);
+        let leaves = self.workload.spec(spec_idx).simple_count();
+        let dl = now + (self.workload.spec(spec_idx).critical_path(&g.leaf_ex) + slack);
 
         // Place the leaves: subtasks of one parallel composition run at
         // distinct nodes; other leaves are placed per the configured
         // placement policy.
-        let backlog: Vec<usize> = self.nodes.iter().map(Node::backlog).collect();
-        let leaf_node = self.workload.place(draw.spec_idx, &backlog);
-        debug_assert_eq!(leaf_node.len(), leaves);
+        let mut backlog = std::mem::take(&mut self.scratch.backlog);
+        backlog.clear();
+        backlog.extend(self.nodes.iter().map(Node::backlog));
+        self.workload
+            .place_into(spec_idx, &backlog, &mut g.leaf_node);
+        self.scratch.backlog = backlog;
+        debug_assert_eq!(g.leaf_node.len(), leaves);
 
-        let decomp = Decomposition::new(self.workload.spec(draw.spec_idx), draw.leaf_pex.clone());
+        // Rebind the instance's decomposition to the spec's shared
+        // template with this arrival's predictions (no tree rebuild).
+        g.decomp
+            .reset_from(self.workload.template(spec_idx), &g.leaf_pex);
+
         let slot = self.pm.alloc_slot();
-        let pm_timer = match self.cfg.abort {
+        g.ar = now;
+        g.dl = dl;
+        g.leaf_state.resize(leaves, LeafState::Unreleased);
+        g.leaf_job.resize(leaves, 0);
+        g.leaf_resubmitted.resize(leaves, false);
+        g.work_done = 0.0;
+        g.pm_timer = match self.cfg.abort {
             AbortPolicy::ProcessManager => Some(engine.schedule(dl, Ev::PmAbortGlobal { slot })),
             _ => None,
         };
-        self.pm.install(
-            slot,
-            GlobalInstance {
-                ar: now,
-                dl,
-                decomp,
-                leaf_node,
-                leaf_ex: draw.leaf_ex,
-                leaf_pex: draw.leaf_pex,
-                leaf_state: vec![LeafState::Unreleased; leaves],
-                leaf_job: vec![0; leaves],
-                leaf_resubmitted: vec![false; leaves],
-                work_done: 0.0,
-                pm_timer,
-                counted: now >= self.warmup,
-            },
-        );
+        g.counted = now >= self.warmup;
+        self.pm.install(slot, g);
 
         self.emit(
             now,
@@ -289,22 +302,19 @@ impl Simulation {
 
         // First descent of the SDA recursion (Figure 13).
         let strategy = self.cfg.strategy;
-        let releases = self
-            .pm
+        let mut releases = std::mem::take(&mut self.scratch.releases);
+        self.pm
             .get_mut(slot)
             .expect("slot just filled")
             .decomp
-            .start(now, dl, &strategy);
-        self.submit_releases(engine, slot, releases);
+            .start_into(now, dl, &strategy, &mut releases);
+        self.submit_releases(engine, slot, &releases);
+        releases.clear();
+        self.scratch.releases = releases;
     }
 
-    fn submit_releases(
-        &mut self,
-        engine: &mut Engine<Ev>,
-        slot: usize,
-        releases: Vec<sda_core::Release>,
-    ) {
-        for release in releases {
+    fn submit_releases(&mut self, engine: &mut Engine<Ev>, slot: usize, releases: &[Release]) {
+        for &release in releases {
             // Submitting an earlier release can abort the whole task
             // re-entrantly (e.g. a local scheduler that aborts on already-
             // expired virtual deadlines at dispatch, with no resubmission);
@@ -504,18 +514,22 @@ impl Simulation {
 
     fn on_subtask_complete(&mut self, engine: &mut Engine<Ev>, job: SubtaskJob, now: SimTime) {
         let strategy = self.cfg.strategy;
-        let (releases, finished, counted, dl) = {
+        let mut releases = std::mem::take(&mut self.scratch.releases);
+        let (finished, counted, dl) = {
             let g = self.pm.get_mut(job.slot).expect("live global");
             g.leaf_state[job.leaf] = LeafState::Done;
             g.work_done += job.ex;
-            let releases = g.decomp.complete_leaf(job.leaf, now, &strategy);
-            (releases, g.decomp.is_finished(), g.counted, g.dl)
+            g.decomp
+                .complete_leaf_into(job.leaf, now, &strategy, &mut releases);
+            (g.decomp.is_finished(), g.counted, g.dl)
         };
         if counted {
             // A subtask's natural deadline is the global deadline (§4).
             self.metrics.record_subtask(now > dl);
         }
-        self.submit_releases(engine, job.slot, releases);
+        self.submit_releases(engine, job.slot, &releases);
+        releases.clear();
+        self.scratch.releases = releases;
         if finished {
             let g = self.pm.finish(job.slot);
             if let Some(timer) = g.pm_timer {
@@ -540,6 +554,7 @@ impl Simulation {
                     missed,
                 },
             );
+            self.pm.recycle(g);
         }
     }
 }

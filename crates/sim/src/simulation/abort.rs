@@ -81,7 +81,10 @@ impl Simulation {
         if let Some(timer) = g.pm_timer.take() {
             engine.cancel(timer);
         }
-        let mut idle_nodes = Vec::new();
+        // Taken, not borrowed: the dispatch loop below can abort another
+        // global re-entrantly, which would need this buffer again.
+        let mut idle_nodes = std::mem::take(&mut self.scratch.idle_nodes);
+        idle_nodes.clear();
         for leaf in 0..g.leaves() {
             match g.leaf_state[leaf] {
                 LeafState::Done | LeafState::Failed => {}
@@ -129,9 +132,12 @@ impl Simulation {
                 .record_global(g.decomp.leaf_count() as u32, true, g.work_done, now - g.ar);
         }
         self.emit(now, TraceEvent::GlobalFinished { slot, missed: true });
-        for node in idle_nodes {
+        self.pm.recycle(g);
+        for &node in &idle_nodes {
             self.dispatch(engine, node);
         }
+        idle_nodes.clear();
+        self.scratch.idle_nodes = idle_nodes;
     }
 
     // ------------------------------------------------------------------

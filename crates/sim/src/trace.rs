@@ -355,6 +355,13 @@ pub struct RingBufferHandle {
 impl RingBufferSink {
     /// Creates a sink holding at most `capacity` records (oldest evicted
     /// first) plus the handle to read them back.
+    ///
+    /// The backing deque is pre-allocated up front, but clamped to 4096
+    /// records: callers often size the ring generously "just in case"
+    /// (e.g. `with_handle(1_000_000)` for a short probe run), and a full
+    /// eager reservation would pay for the worst case on every
+    /// construction. Beyond the clamp, the deque grows on demand toward
+    /// `capacity`, which [`TraceSink::record`] still enforces exactly.
     pub fn with_handle(capacity: usize) -> (RingBufferSink, RingBufferHandle) {
         assert!(capacity > 0, "ring buffer needs capacity");
         let buf = Arc::new(Mutex::new(VecDeque::with_capacity(capacity.min(4096))));

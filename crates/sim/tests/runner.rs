@@ -375,3 +375,27 @@ fn batch_means_user_trace_rides_along() {
     assert!(multi.batch_means().is_some());
     assert!(handle.counts().total() > 0, "user sink still sees events");
 }
+
+#[test]
+fn throughput_is_measured_and_surfaced_on_opt_in() {
+    let multi = Runner::new(quick())
+        .seed(3)
+        .stop(StopRule::FixedReps(2))
+        .execute()
+        .unwrap();
+    for r in multi.runs() {
+        assert!(r.wall_secs > 0.0, "the engine loop takes measurable time");
+        assert!(r.events_per_sec() > 0.0);
+        assert_eq!(r.events_per_sec(), r.events as f64 / r.wall_secs);
+    }
+    assert!(multi.events_per_sec().mean > 0.0);
+    // The default report stays free of wall-clock entries (its bytes are
+    // the golden-determinism contract); the opt-in report appends one.
+    let default = multi.stats();
+    assert!(default.get("events_per_sec").is_none());
+    let with = multi.stats_with_throughput();
+    let eps = with.get("events_per_sec").expect("opt-in entry present");
+    assert!(eps.mean > 0.0);
+    assert!(with.to_json().contains("\"events_per_sec\""));
+    assert!(!default.to_json().contains("\"events_per_sec\""));
+}

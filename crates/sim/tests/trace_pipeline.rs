@@ -115,6 +115,38 @@ fn ring_buffer_keeps_the_most_recent() {
 }
 
 #[test]
+fn ring_buffer_never_exceeds_capacity() {
+    // Exercise capacities on both sides of the 4096 pre-allocation
+    // clamp: the eager reservation is an optimization detail only —
+    // eviction must enforce the requested capacity exactly either way.
+    for capacity in [1usize, 5, 4096, 5000] {
+        let (mut sink, handle) = RingBufferSink::with_handle(capacity);
+        let writes = capacity + capacity / 2 + 3;
+        for i in 0..writes as u64 {
+            sink.record(
+                SimTime::from(i as f64),
+                &TraceEvent::ServiceStarted { node: 0, job: i },
+            );
+            assert!(
+                handle.len() <= capacity,
+                "ring exceeded capacity {capacity} after {i} writes"
+            );
+        }
+        assert_eq!(handle.len(), capacity, "full ring sits exactly at capacity");
+        let records = handle.records();
+        let first = match records.first().expect("non-empty").event {
+            TraceEvent::ServiceStarted { job, .. } => job,
+            _ => unreachable!(),
+        };
+        assert_eq!(
+            first,
+            (writes - capacity) as u64,
+            "the survivors are the most recent {capacity} records"
+        );
+    }
+}
+
+#[test]
 fn counting_sink_tallies_kinds() {
     let (mut sink, handle) = CountingSink::with_handle();
     for rec in samples() {

@@ -95,14 +95,7 @@ impl<E> Engine<E> {
         M: Model<Event = E>,
     {
         let before = self.processed;
-        while let Some(next) = self.calendar.peek_time() {
-            if next > until {
-                break;
-            }
-            let (time, event) = self
-                .calendar
-                .pop()
-                .expect("peek_time returned Some, pop must succeed");
+        while let Some((time, event)) = self.calendar.pop_before(until) {
             debug_assert!(time >= self.now, "calendar returned an event in the past");
             self.now = time;
             self.processed += 1;

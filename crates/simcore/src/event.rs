@@ -5,52 +5,70 @@
 //! * events pop in non-decreasing time order;
 //! * events scheduled for the *same* time pop in FIFO (insertion) order, so
 //!   runs are deterministic regardless of heap internals;
-//! * any pending event can be cancelled in O(1) amortized via its
-//!   [`EventHandle`] (used for the process-manager abort timers of §7.3,
-//!   which are cancelled when the task completes on time).
+//! * any pending event can be cancelled in O(1) via its [`EventHandle`]
+//!   (used for the process-manager abort timers of §7.3, which are
+//!   cancelled when the task completes on time).
+//!
+//! Cancellation bookkeeping is a slab of per-slot states indexed directly
+//! by a slot number carried in both the handle and the heap entry — no
+//! hashing on the hot path. Freed slots go on a free list, so the slab is
+//! bounded by the maximum number of *concurrently* pending events and the
+//! steady-state schedule/pop cycle allocates nothing.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
+/// Marks a slab slot as free: no live handle can match it, because
+/// sequence numbers are issued counting up from zero.
+const SEQ_FREE: u64 = u64::MAX;
+
 /// An opaque handle to a scheduled event, used for cancellation.
 ///
 /// Handles are only meaningful for the calendar that issued them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventHandle(u64);
+pub struct EventHandle {
+    /// Index into the calendar's slot slab.
+    slot: u32,
+    /// Unique sequence number; acts as the slot's generation stamp so a
+    /// stale handle (whose slot has been freed or reused) never matches.
+    seq: u64,
+}
 
 impl EventHandle {
     /// The raw sequence number (for diagnostics).
     pub fn id(self) -> u64 {
-        self.0
+        self.seq
     }
 }
 
-/// One calendar entry. Ordered by (time, seq) so the `BinaryHeap` (a
-/// max-heap wrapped by reversing the order) pops earliest-first with FIFO
-/// tie-breaking.
-struct Entry<E> {
+/// One calendar entry: just the ordering key plus the slot holding the
+/// payload. Keeping entries small (24 bytes regardless of the event type)
+/// keeps heap sift operations cheap. Ordered by (time, seq) so the
+/// `BinaryHeap` (a max-heap wrapped by reversing the order) pops
+/// earliest-first with FIFO tie-breaking.
+struct Entry {
     time: SimTime,
     seq: u64,
-    event: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
 
-impl<E> Eq for Entry<E> {}
+impl Eq for Entry {}
 
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest time (and
         // the lowest sequence number within a time) at the top.
@@ -59,6 +77,16 @@ impl<E> Ord for Entry<E> {
             .cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
+}
+
+/// Per-slot state: the event payload plus cancellation bookkeeping. `seq`
+/// is the generation stamp of the occupying entry ([`SEQ_FREE`] when the
+/// slot is on the free list); a cancelled slot (its heap entry is a
+/// not-yet-purged tombstone) has `event == None` — the payload is dropped
+/// eagerly at cancellation.
+struct Slot<E> {
+    seq: u64,
+    event: Option<E>,
 }
 
 /// A cancellable event calendar.
@@ -76,15 +104,16 @@ impl<E> Ord for Entry<E> {
 /// assert!(cal.pop().is_none());
 /// ```
 pub struct Calendar<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: BinaryHeap<Entry>,
     next_seq: u64,
-    /// Sequence numbers of live (scheduled, neither popped nor cancelled)
-    /// events. Makes `cancel` robust: cancelling an event that already
-    /// popped is a detectable no-op rather than a poisoned tombstone.
-    pending: std::collections::HashSet<u64>,
-    /// Cancelled sequence numbers whose heap entries have not been purged
-    /// yet (lazy deletion).
-    cancelled: std::collections::HashSet<u64>,
+    /// Slot slab: one entry per heap entry (live or tombstoned), reused
+    /// via `free`. Direct indexing replaces the hash-set lookups a lazy-
+    /// deletion calendar otherwise pays on every schedule/cancel/pop.
+    slots: Vec<Slot<E>>,
+    /// Freed slot indices awaiting reuse.
+    free: Vec<u32>,
+    /// Number of live (scheduled, neither popped nor cancelled) events.
+    live: usize,
 }
 
 impl<E> Calendar<E> {
@@ -93,8 +122,9 @@ impl<E> Calendar<E> {
         Calendar {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            pending: std::collections::HashSet::new(),
-            cancelled: std::collections::HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
         }
     }
 
@@ -103,9 +133,23 @@ impl<E> Calendar<E> {
     pub fn schedule(&mut self, time: SimTime, event: E) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
-        self.pending.insert(seq);
-        EventHandle(seq)
+        let state = Slot {
+            seq,
+            event: Some(event),
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = state;
+                slot
+            }
+            None => {
+                self.slots.push(state);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.heap.push(Entry { time, seq, slot });
+        self.live += 1;
+        EventHandle { slot, seq }
     }
 
     /// Cancels a pending event.
@@ -114,24 +158,69 @@ impl<E> Calendar<E> {
     /// never to pop). Returns `false` — with no other effect — if the event
     /// already popped, was already cancelled, or was never issued by this
     /// calendar; cancellation is safe to use best-effort (e.g. a timer
-    /// cancelling *itself* from within its own handler is a no-op).
+    /// cancelling *itself* from within its own handler is a no-op). Stale
+    /// handles are caught by the generation stamp: a freed or reused slot
+    /// no longer carries the handle's sequence number.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if self.pending.remove(&handle.0) {
-            self.cancelled.insert(handle.0);
-            true
-        } else {
-            false
+        match self.slots.get_mut(handle.slot as usize) {
+            Some(state) if state.seq == handle.seq && state.event.is_some() => {
+                state.event = None;
+                self.live -= 1;
+                true
+            }
+            _ => false,
         }
+    }
+
+    /// Marks `slot` free and pushes it onto the free list. The sentinel
+    /// generation makes any outstanding handle to it a detectable no-op.
+    fn release_slot(&mut self, slot: u32) {
+        self.slots[slot as usize].seq = SEQ_FREE;
+        self.free.push(slot);
     }
 
     /// Removes and returns the earliest non-cancelled event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue; // skip cancelled tombstones
+            let event = self.slots[entry.slot as usize].event.take();
+            self.release_slot(entry.slot);
+            match event {
+                Some(event) => {
+                    self.live -= 1;
+                    return Some((entry.time, event));
+                }
+                None => continue, // skip cancelled tombstones
             }
-            self.pending.remove(&entry.seq);
-            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Removes and returns the earliest non-cancelled event, provided its
+    /// time does not exceed `limit`; later events stay scheduled.
+    ///
+    /// Equivalent to a [`Calendar::peek_time`] bounds check followed by
+    /// [`Calendar::pop`], but touches the heap top once — the engine's
+    /// run loop calls this once per event.
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.peek() {
+            let slot = entry.slot;
+            if self.slots[slot as usize].event.is_none() {
+                // Purge a cancelled tombstone and keep looking.
+                self.heap.pop();
+                self.release_slot(slot);
+                continue;
+            }
+            if entry.time > limit {
+                return None;
+            }
+            let entry = self.heap.pop().expect("peeked entry must pop");
+            let event = self.slots[entry.slot as usize]
+                .event
+                .take()
+                .expect("checked live above");
+            self.release_slot(entry.slot);
+            self.live -= 1;
+            return Some((entry.time, event));
         }
         None
     }
@@ -141,10 +230,10 @@ impl<E> Calendar<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Purge cancelled tombstones from the top so the peek is accurate.
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
+            if self.slots[entry.slot as usize].event.is_none() {
+                let slot = entry.slot;
                 self.heap.pop();
-                self.cancelled.remove(&seq);
+                self.release_slot(slot);
             } else {
                 return Some(entry.time);
             }
@@ -162,7 +251,7 @@ impl<E> Calendar<E> {
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// Whether no live events are pending.
@@ -180,8 +269,8 @@ impl<E> Default for Calendar<E> {
 impl<E> std::fmt::Debug for Calendar<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Calendar")
-            .field("pending", &self.heap.len())
-            .field("cancelled", &self.cancelled.len())
+            .field("live", &self.live)
+            .field("tombstones", &(self.heap.len() - self.live))
             .field("next_seq", &self.next_seq)
             .finish()
     }
@@ -255,7 +344,50 @@ mod tests {
     #[test]
     fn cancel_unknown_handle_is_false() {
         let mut cal: Calendar<()> = Calendar::new();
-        assert!(!cal.cancel(EventHandle(42)));
+        assert!(!cal.cancel(EventHandle { slot: 42, seq: 42 }));
+    }
+
+    #[test]
+    fn cancel_with_stale_handle_after_slot_reuse_is_false() {
+        // The handle's generation stamp must not match a slot that has
+        // been freed and handed to a later event.
+        let mut cal = Calendar::new();
+        let old = cal.schedule(t(1.0), "first");
+        assert_eq!(cal.pop(), Some((t(1.0), "first")));
+        let fresh = cal.schedule(t(2.0), "second"); // reuses the slot
+        assert!(!cal.cancel(old), "stale handle must not hit the new event");
+        assert_eq!(cal.len(), 1);
+        assert!(cal.cancel(fresh));
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn slot_slab_is_bounded_by_concurrent_events() {
+        // Cycling many events through a calendar with few pending at a
+        // time must not grow the slab (steady state is allocation-free).
+        let mut cal = Calendar::new();
+        for round in 0..1000 {
+            let a = cal.schedule(t(round as f64), round);
+            cal.schedule(t(round as f64 + 0.5), round);
+            cal.cancel(a);
+            cal.pop();
+        }
+        while cal.pop().is_some() {}
+        assert!(cal.slots.len() <= 4, "slab grew past peak concurrency");
+    }
+
+    #[test]
+    fn pop_before_respects_the_limit_and_skips_cancelled() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(t(1.0), 1);
+        cal.schedule(t(2.0), 2);
+        cal.schedule(t(5.0), 5);
+        cal.cancel(h);
+        assert_eq!(cal.pop_before(t(3.0)), Some((t(2.0), 2)));
+        assert_eq!(cal.pop_before(t(3.0)), None, "5 is past the limit");
+        assert_eq!(cal.len(), 1, "the later event stays scheduled");
+        assert_eq!(cal.pop_before(t(5.0)), Some((t(5.0), 5)), "limit inclusive");
+        assert_eq!(cal.pop_before(t(9.0)), None);
     }
 
     #[test]

@@ -65,6 +65,7 @@
 pub mod dist;
 pub mod engine;
 pub mod event;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -203,17 +203,34 @@ impl Rng {
     ///
     /// Panics if `count > population`.
     pub fn choose_distinct(&mut self, population: usize, count: usize) -> Vec<usize> {
+        let mut pool = Vec::new();
+        self.choose_distinct_into(population, count, &mut pool);
+        pool
+    }
+
+    /// [`Rng::choose_distinct`] into a caller-provided buffer, so a hot
+    /// loop can reuse one allocation across draws. `pool` is overwritten
+    /// and left holding exactly the `count` chosen indices.
+    ///
+    /// Draws the *same* random sequence as [`Rng::choose_distinct`]
+    /// (one [`Rng::next_below`] per chosen item), so the two are
+    /// interchangeable without disturbing downstream draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > population`.
+    pub fn choose_distinct_into(&mut self, population: usize, count: usize, pool: &mut Vec<usize>) {
         assert!(
             count <= population,
             "cannot choose {count} distinct items from {population}"
         );
-        let mut pool: Vec<usize> = (0..population).collect();
+        pool.clear();
+        pool.extend(0..population);
         for i in 0..count {
             let j = i + self.next_below((population - i) as u64) as usize;
             pool.swap(i, j);
         }
         pool.truncate(count);
-        pool
     }
 }
 
@@ -367,6 +384,20 @@ mod tests {
     #[should_panic(expected = "cannot choose")]
     fn choose_distinct_overdraw_panics() {
         Rng::seed_from(0).choose_distinct(3, 4);
+    }
+
+    #[test]
+    fn choose_distinct_into_draws_the_same_sequence() {
+        // The buffered form must consume the generator identically, so
+        // swapping it in cannot shift any downstream draw.
+        let mut a = Rng::seed_from(99);
+        let mut b = Rng::seed_from(99);
+        let mut pool = Vec::new();
+        for (population, count) in [(6, 4), (10, 1), (5, 5), (3, 0)] {
+            b.choose_distinct_into(population, count, &mut pool);
+            assert_eq!(a.choose_distinct(population, count), pool);
+        }
+        assert_eq!(a.next_u64(), b.next_u64(), "generators stayed in step");
     }
 
     #[test]

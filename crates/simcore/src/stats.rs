@@ -43,6 +43,7 @@ impl Welford {
     }
 
     /// Adds one observation.
+    #[inline]
     pub fn push(&mut self, x: f64) {
         self.count += 1;
         let delta = x - self.mean;
@@ -149,6 +150,7 @@ impl MissCounter {
 
     /// Records the completion (or abortion) of one task; `missed` is true
     /// if the task failed to meet its deadline.
+    #[inline]
     pub fn record(&mut self, missed: bool) {
         self.total += 1;
         if missed {
@@ -584,6 +586,7 @@ impl BatchMeans {
     }
 
     /// Adds one observation.
+    #[inline]
     pub fn push(&mut self, x: f64) {
         self.batch_sum += x;
         self.in_batch += 1;
@@ -760,6 +763,7 @@ impl TimeWeighted {
     /// # Panics
     ///
     /// Panics if `at` precedes the previous update.
+    #[inline]
     pub fn update(&mut self, at: crate::time::SimTime, value: f64) {
         assert!(
             at >= self.last_time,
@@ -836,21 +840,25 @@ impl NodeStats {
     }
 
     /// Adds `amount` of busy (serving) time.
+    #[inline]
     pub fn add_busy(&mut self, amount: f64) {
         self.busy += amount;
     }
 
     /// Counts one completed service (local job or subtask).
+    #[inline]
     pub fn record_service(&mut self) {
         self.served += 1;
     }
 
     /// Counts one finished *local* job and whether it missed its deadline.
+    #[inline]
     pub fn record_local(&mut self, missed: bool) {
         self.local.record(missed);
     }
 
     /// Records the queue length at time `at`.
+    #[inline]
     pub fn observe_queue(&mut self, at: crate::time::SimTime, len: f64) {
         self.queue.update(at, len);
     }

@@ -79,7 +79,8 @@ pub use sda_simcore as simcore;
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use sda_core::{
-        Decomposition, EstimationModel, PspStrategy, Release, SdaStrategy, SspStrategy,
+        DecompTemplate, Decomposition, EstimationModel, PspStrategy, Release, SdaStrategy,
+        SspStrategy,
     };
     pub use sda_model::{parse_spec, Attrs, NodeId, TaskClass, TaskId, TaskSpec};
     pub use sda_sim::{

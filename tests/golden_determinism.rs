@@ -1,0 +1,127 @@
+//! Golden-file determinism pins for the hot-path rework: the pooled,
+//! template-based arrival path must produce **byte-identical** output to
+//! the allocating implementation it replaced. The fixtures under
+//! `tests/golden/` were generated from the pre-rework build; this test
+//! re-runs the same small configurations and compares the rendered
+//! `stats.json` and the replication-0 trace JSONL byte for byte.
+//!
+//! Throughput numbers (wall-clock derived) are deliberately excluded:
+//! they are nondeterministic even between two runs of the same binary.
+//! Everything simulation-derived is compared exactly.
+//!
+//! To regenerate after an *intentional* output-format change:
+//!
+//! ```text
+//! SDA_REGEN_GOLDEN=1 cargo test --test golden_determinism
+//! ```
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use sda::prelude::*;
+use sda::sim::trace::{JsonlSink, SharedSink};
+
+/// A writer handing every byte to a shared buffer, so the test can read
+/// what the sink wrote after the runner consumed it.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Runs `cfg` under the Runner exactly as the CLI would (3 replications,
+/// 2 worker threads, trace on replication 0) and returns
+/// (deterministic stats.json bytes, trace JSONL bytes).
+fn run_case(cfg: SimConfig, seed: u64) -> (String, String) {
+    let buf = SharedBuf::default();
+    let sink = SharedSink::new(Box::new(JsonlSink::new(buf.clone())));
+    let multi = Runner::new(cfg)
+        .seed(seed)
+        .jobs(2)
+        .stop(StopRule::FixedReps(3))
+        .trace(sink)
+        .execute()
+        .expect("golden configs validate");
+    let stats = multi.stats().to_json();
+    let bytes = buf.0.lock().unwrap().clone();
+    let trace = String::from_utf8(bytes).expect("utf-8 jsonl");
+    (stats, trace)
+}
+
+/// The Figure-5 shape with the paper's winning strategy and
+/// process-manager abortion: exercises parallel decomposition, pooled
+/// slots, placement, and the PM teardown path.
+fn baseline_case() -> (String, String) {
+    let cfg = SimConfig {
+        duration: 2_000.0,
+        warmup: 100.0,
+        strategy: SdaStrategy::eqf_div1(),
+        abort: AbortPolicy::ProcessManager,
+        ..SimConfig::baseline()
+    };
+    run_case(cfg, 777)
+}
+
+/// The §8 serial-parallel shape (Figure 14 task graph) with
+/// local-scheduler abortion and resubmission: exercises serial-stage
+/// activation (EQF prefix sums), in-service deadline timers, and the
+/// resubmission path.
+fn section8_case() -> (String, String) {
+    let cfg = SimConfig {
+        duration: 2_000.0,
+        warmup: 100.0,
+        strategy: SdaStrategy::eqf_div1(),
+        abort: AbortPolicy::LocalScheduler {
+            resubmit: ResubmitPolicy::OnceWithRealDeadline,
+        },
+        ..SimConfig::section8()
+    };
+    run_case(cfg, 4242)
+}
+
+fn fixture(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_or_regen(name: &str, actual: &str) {
+    let path = fixture(name);
+    if std::env::var_os("SDA_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir tests/golden");
+        std::fs::write(&path, actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); see module docs", path.display()));
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from the golden fixture: same seed must produce \
+         byte-identical output (regenerate only for intentional format changes)"
+    );
+}
+
+#[test]
+fn baseline_stats_and_trace_match_golden() {
+    let (stats, trace) = baseline_case();
+    assert!(!trace.is_empty(), "the run must actually trace");
+    check_or_regen("baseline_stats.json", &stats);
+    check_or_regen("baseline_trace.jsonl", &trace);
+}
+
+#[test]
+fn section8_stats_and_trace_match_golden() {
+    let (stats, trace) = section8_case();
+    assert!(!trace.is_empty(), "the run must actually trace");
+    check_or_regen("section8_stats.json", &stats);
+    check_or_regen("section8_trace.jsonl", &trace);
+}
