@@ -1,0 +1,127 @@
+//! Campaign-level benchmark of the sweep engine and its result cache.
+//!
+//! Runs the full quick-scale reproduction (every table, figure,
+//! checkpoint, ablation, and extension) three ways and reports the
+//! wall-clock of each as JSON on stdout:
+//!
+//! 1. `baseline` — the pre-engine execution model: every point runs its
+//!    own sequential [`Runner`] loop, nothing is shared between points.
+//! 2. `cold` — the sweep engine over an empty on-disk cache: points are
+//!    flattened onto the work-stealing pool and config-identical cells
+//!    across artifacts (the campaign runs everything at one seed)
+//!    resolve once.
+//! 3. `warm` — the same cache directory again from a fresh execution
+//!    context: every point replays from disk without simulating.
+//!
+//! Used by `scripts/bench.sh sweep` to produce the committed
+//! `BENCH_*.json` perf-trajectory records; see DESIGN.md ("Sweep engine
+//! & result cache").
+//!
+//! ```text
+//! sweep [--cache-dir DIR] [--keep-cache]
+//! ```
+//!
+//! [`Runner`]: sda_sim::Runner
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use sda_experiments::repro::artifacts;
+use sda_experiments::run::{with_exec, Exec};
+use sda_experiments::Scale;
+use sda_sim::CacheReport;
+
+struct Args {
+    cache_dir: PathBuf,
+    keep_cache: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cache_dir: std::env::temp_dir().join(format!("sda-bench-sweep-{}", std::process::id())),
+        keep_cache: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--cache-dir" => {
+                args.cache_dir = PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| panic!("flag {flag} needs a value")),
+                );
+            }
+            "--keep-cache" => args.keep_cache = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Runs the full quick-scale artifact set under `exec`, returning the
+/// wall seconds and a fingerprint of the rendered output.
+fn timed_campaign(exec: Exec) -> (f64, String) {
+    let start = Instant::now();
+    let rendered = with_exec(exec, || {
+        let mut out = String::new();
+        for (name, table) in artifacts(Scale::Quick) {
+            out.push_str(name);
+            out.push('\n');
+            out.push_str(&table.to_csv());
+        }
+        out
+    });
+    (start.elapsed().as_secs_f64(), rendered)
+}
+
+fn report_fields(label: &str, report: &CacheReport) -> String {
+    format!(
+        "\"{label}\": {{\"points\": {}, \"hits_memory\": {}, \"hits_disk\": {}, \"misses\": {}}}",
+        report.points(),
+        report.hits_memory,
+        report.hits_disk,
+        report.misses
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::remove_dir_all(&args.cache_dir).ok();
+
+    eprintln!("== baseline: sequential per-point runner loop ==");
+    let (baseline_secs, baseline_render) = timed_campaign(Exec::baseline().with_jobs(1));
+
+    eprintln!("== cold: sweep engine, empty disk cache ==");
+    let cold_exec = Exec::sweep_with_dir(&args.cache_dir).expect("create cache dir");
+    let (cold_secs, cold_render) = timed_campaign(cold_exec.clone());
+    let cold_report = cold_exec.cache_report().expect("sweep exec has a cache");
+
+    eprintln!("== warm: sweep engine, populated disk cache ==");
+    let warm_exec = Exec::sweep_with_dir(&args.cache_dir).expect("reopen cache dir");
+    let (warm_secs, warm_render) = timed_campaign(warm_exec.clone());
+    let warm_report = warm_exec.cache_report().expect("sweep exec has a cache");
+
+    assert_eq!(
+        baseline_render, cold_render,
+        "the engine must render byte-identical artifacts to the baseline"
+    );
+    assert_eq!(
+        baseline_render, warm_render,
+        "a warm replay must render byte-identical artifacts"
+    );
+    assert_eq!(warm_report.misses, 0, "warm run must not simulate");
+
+    if !args.keep_cache {
+        std::fs::remove_dir_all(&args.cache_dir).ok();
+    }
+
+    println!(
+        "{{\n  \"bench\": \"sweep\",\n  \"workload\": \"repro_quick_campaign\",\n  \
+         \"baseline_secs\": {baseline_secs:.4},\n  \"cold_secs\": {cold_secs:.4},\n  \
+         \"warm_secs\": {warm_secs:.4},\n  \"cold_speedup\": {:.4},\n  \
+         \"warm_speedup\": {:.4},\n  {},\n  {}\n}}",
+        baseline_secs / cold_secs,
+        baseline_secs / warm_secs,
+        report_fields("cold_cache", &cold_report),
+        report_fields("warm_cache", &warm_report),
+    );
+}

@@ -11,8 +11,9 @@
 //!
 //! Shared options: --seed N, --reps N, --jobs N (worker threads,
 //! 0 = auto), --ci-target R (adaptive stopping on the 95% CI width
-//! ratio; --reps becomes the floor, --max-reps the cap), and
-//! --stats-out PATH (write per-metric statistics as stats.json).
+//! ratio; --reps becomes the floor, --max-reps the cap),
+//! --stats-out PATH (write per-metric statistics as stats.json), and
+//! --cache-dir DIR / --no-cache (memoize completed points on disk).
 //! `run` additionally takes --trace-out PATH: write replication 0's
 //! structured event trace as JSONL, byte-identical at any --jobs level.
 //!
@@ -26,11 +27,13 @@
 use std::path::Path;
 use std::process::ExitCode;
 
+use std::sync::Arc;
+
 use sda_cli::{apply_setting, load_config, parse_strategy, render_report};
 use sda_core::Decomposition;
 use sda_model::parse_spec;
 use sda_sim::trace::{JsonlSink, SharedSink};
-use sda_sim::{MultiRun, Runner, SimConfig, StopRule};
+use sda_sim::{MultiRun, PointCache, Runner, SimConfig, StopRule, Sweep, SweepPoint};
 use sda_simcore::SimTime;
 
 fn main() -> ExitCode {
@@ -75,6 +78,9 @@ struct RunOptions {
     throughput: bool,
     /// Where to write the replication-0 JSONL trace, if anywhere.
     trace_out: Option<String>,
+    /// On-disk result cache directory; completed points are memoized
+    /// there and replayed on later invocations.
+    cache_dir: Option<String>,
 }
 
 impl RunOptions {
@@ -85,6 +91,28 @@ impl RunOptions {
             Some(target) => StopRule::CiWidth(target),
             None => StopRule::FixedReps(self.reps),
         };
+        // Tracing needs the live event stream, so a traced run always
+        // simulates; otherwise the cached result is bit-identical to a
+        // fresh one and the cache dir (if any) answers first.
+        if self.trace_out.is_none() {
+            if let Some(dir) = &self.cache_dir {
+                let cache = Arc::new(
+                    PointCache::with_dir(dir)
+                        .map_err(|e| format!("cannot open cache dir {dir:?}: {e}"))?,
+                );
+                let results = Sweep::new()
+                    .point(SweepPoint::new(cfg.clone(), self.seed).stop(stop))
+                    .jobs(self.jobs)
+                    .min_reps(self.reps.max(2))
+                    .max_reps(self.max_reps)
+                    .cache(Arc::clone(&cache))
+                    .execute()
+                    .map_err(|e| e.to_string())?;
+                eprintln!("{}", cache.report());
+                let [multi]: [MultiRun; 1] = results.try_into().expect("one point in, one out");
+                return Ok(multi);
+            }
+        }
         let mut runner = Runner::new(cfg.clone())
             .seed(self.seed)
             .jobs(self.jobs)
@@ -135,7 +163,9 @@ fn split_options(args: &[String]) -> Result<(Vec<&String>, RunOptions), String> 
         stats_out: None,
         throughput: false,
         trace_out: None,
+        cache_dir: None,
     };
+    let mut no_cache = false;
     let mut positional = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -181,8 +211,19 @@ fn split_options(args: &[String]) -> Result<(Vec<&String>, RunOptions), String> 
                 let v = iter.next().ok_or("--trace-out needs a value")?;
                 opts.trace_out = Some(v.clone());
             }
+            "--cache-dir" => {
+                let v = iter.next().ok_or("--cache-dir needs a directory")?;
+                opts.cache_dir = Some(v.clone());
+            }
+            "--no-cache" => no_cache = true,
             _ => positional.push(arg),
         }
+    }
+    if no_cache {
+        if opts.cache_dir.is_some() {
+            return Err("--no-cache conflicts with --cache-dir".into());
+        }
+        opts.cache_dir = None;
     }
     Ok((positional, opts))
 }
@@ -444,7 +485,10 @@ fn print_help(topic: Option<&str>) {
          \x20 --throughput   add the wall-clock events_per_sec entry to\n\
          \x20                stats.json (nondeterministic; off by default)\n\
          \x20 --trace-out F  (run only) write replication 0's event trace to F\n\
-         \x20                as JSONL; the bytes do not depend on --jobs\n\n\
+         \x20                as JSONL; the bytes do not depend on --jobs\n\
+         \x20 --cache-dir D  memoize completed points in D and replay them on\n\
+         \x20                later invocations (bypassed when --trace-out is set)\n\
+         \x20 --no-cache     never read or write a result cache\n\n\
          examples:\n\
          \x20 sda run load=0.7 strategy=UD-DIV1 --jobs 8 --stats-out stats.json\n\
          \x20 sda run load=0.7 duration=2000 --trace-out trace.jsonl\n\
@@ -514,6 +558,48 @@ mod tests {
     }
 
     #[test]
+    fn split_options_cache_flags() {
+        let (_, opts) = split_options(&strings(&["--cache-dir", "pts"])).unwrap();
+        assert_eq!(opts.cache_dir.as_deref(), Some("pts"));
+        let (_, opts) = split_options(&strings(&["--no-cache"])).unwrap();
+        assert_eq!(opts.cache_dir, None);
+        assert!(split_options(&strings(&["--cache-dir"])).is_err());
+        let err = split_options(&strings(&["--no-cache", "--cache-dir", "pts"])).unwrap_err();
+        assert!(err.contains("--no-cache"), "{err:?}");
+    }
+
+    #[test]
+    fn cached_run_matches_a_fresh_one() {
+        let dir = std::env::temp_dir().join(format!("sda-cli-cache-{}", std::process::id()));
+        let cfg = SimConfig {
+            duration: 2_000.0,
+            warmup: 100.0,
+            ..SimConfig::baseline()
+        };
+        let fresh = RunOptions {
+            seed: 42,
+            reps: 2,
+            jobs: 1,
+            ci_target: None,
+            max_reps: 64,
+            stats_out: None,
+            throughput: false,
+            trace_out: None,
+            cache_dir: None,
+        };
+        let cached = RunOptions {
+            cache_dir: Some(dir.display().to_string()),
+            ..fresh.clone()
+        };
+        let want = fresh.execute(&cfg).unwrap().stats().to_json();
+        let cold = cached.execute(&cfg).unwrap().stats().to_json();
+        let warm = cached.execute(&cfg).unwrap().stats().to_json();
+        assert_eq!(want, cold);
+        assert_eq!(want, warm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn split_options_throughput_flag() {
         let none = strings(&[]);
         let (_, opts) = split_options(&none).expect("no options is fine");
@@ -552,6 +638,7 @@ mod tests {
             stats_out: None,
             throughput: false,
             trace_out: None,
+            cache_dir: None,
         };
         let multi = opts.execute(&cfg).unwrap();
         assert_eq!(multi.runs().len(), 2, "loose target stops at the floor");

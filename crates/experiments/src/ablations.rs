@@ -8,10 +8,23 @@ use sda_model::TaskSpec;
 use sda_sched::Policy;
 use sda_sim::{AbortPolicy, GlobalShape, ResubmitPolicy, ServiceShape, SimConfig};
 
+use sda_sim::MultiRun;
+
 use crate::pct;
-use crate::run::run_point;
+use crate::run::{run_points, Point};
 use crate::scale::Scale;
 use crate::table::Table;
+
+/// Runs a whole ablation grid as one batch (each configuration at the
+/// campaign seed and the scale's replication count), so the engine can
+/// interleave all cells across its worker pool.
+fn run_grid(cfgs: Vec<SimConfig>, scale: Scale) -> Vec<MultiRun> {
+    let points: Vec<Point> = cfgs
+        .into_iter()
+        .map(|cfg| Point::new(cfg, scale.replications()))
+        .collect();
+    run_points(&points)
+}
 
 /// **A1** — local-scheduler abortion (§7.3's "results not shown"):
 /// DIV-x degrades when local schedulers abort on virtual deadlines,
@@ -47,25 +60,34 @@ pub fn local_abort(scale: Scale) -> Table {
             },
         ),
     ];
-    for (s_label, strategy) in strategies {
-        for (m_label, abort) in modes {
-            let cfg = scale
-                .apply(SimConfig {
-                    abort,
-                    load: 0.7,
-                    ..SimConfig::baseline()
-                })
-                .with_strategy(strategy);
-            let multi = run_point(&cfg, 2100, scale.replications());
-            let resub: u64 = multi.runs().iter().map(|r| r.metrics.resubmissions).sum();
-            table.row(&[
-                s_label.to_string(),
-                m_label.to_string(),
-                pct(multi.md_local()),
-                pct(multi.md_global()),
-                resub.to_string(),
-            ]);
-        }
+    let cells: Vec<(&str, &str, SimConfig)> = strategies
+        .iter()
+        .flat_map(|(s_label, strategy)| {
+            modes.iter().map(|(m_label, abort)| {
+                (
+                    *s_label,
+                    *m_label,
+                    scale
+                        .apply(SimConfig {
+                            abort: *abort,
+                            load: 0.7,
+                            ..SimConfig::baseline()
+                        })
+                        .with_strategy(*strategy),
+                )
+            })
+        })
+        .collect();
+    let results = run_grid(cells.iter().map(|c| c.2.clone()).collect(), scale);
+    for ((s_label, m_label, _), multi) in cells.iter().zip(&results) {
+        let resub: u64 = multi.runs().iter().map(|r| r.metrics.resubmissions).sum();
+        table.row(&[
+            (*s_label).to_string(),
+            (*m_label).to_string(),
+            pct(multi.md_local()),
+            pct(multi.md_global()),
+            resub.to_string(),
+        ]);
     }
     table
 }
@@ -79,25 +101,35 @@ pub fn sched_policies(scale: Scale) -> Table {
         "A2: local scheduler ablation (load 0.5)",
         &["scheduler", "strategy", "MD_local", "MD_global"],
     );
-    for scheduler in Policy::ALL {
-        for (label, strategy) in [
-            ("UD", SdaStrategy::ud_ud()),
-            ("DIV-1", SdaStrategy::ud_div1()),
-        ] {
-            let cfg = scale
-                .apply(SimConfig {
+    let strategies = [
+        ("UD", SdaStrategy::ud_ud()),
+        ("DIV-1", SdaStrategy::ud_div1()),
+    ];
+    let cells: Vec<(Policy, &str, SimConfig)> = Policy::ALL
+        .into_iter()
+        .flat_map(|scheduler| {
+            strategies.iter().map(move |(label, strategy)| {
+                (
                     scheduler,
-                    ..SimConfig::baseline()
-                })
-                .with_strategy(strategy);
-            let multi = run_point(&cfg, 2200, scale.replications());
-            table.row(&[
-                scheduler.to_string(),
-                label.to_string(),
-                pct(multi.md_local()),
-                pct(multi.md_global()),
-            ]);
-        }
+                    *label,
+                    scale
+                        .apply(SimConfig {
+                            scheduler,
+                            ..SimConfig::baseline()
+                        })
+                        .with_strategy(*strategy),
+                )
+            })
+        })
+        .collect();
+    let results = run_grid(cells.iter().map(|c| c.2.clone()).collect(), scale);
+    for ((scheduler, label, _), multi) in cells.iter().zip(&results) {
+        table.row(&[
+            scheduler.to_string(),
+            (*label).to_string(),
+            pct(multi.md_local()),
+            pct(multi.md_global()),
+        ]);
     }
     table
 }
@@ -115,12 +147,17 @@ pub fn ssp_family(scale: Scale) -> Table {
         global_slack: SimConfig::baseline().local_slack.scaled(5.0),
         ..SimConfig::baseline()
     };
-    for ssp in SspStrategy::ALL {
-        let cfg = scale.apply(base.clone()).with_strategy(SdaStrategy {
-            ssp,
-            psp: PspStrategy::Ud,
-        });
-        let multi = run_point(&cfg, 2300, scale.replications());
+    let cfgs: Vec<SimConfig> = SspStrategy::ALL
+        .into_iter()
+        .map(|ssp| {
+            scale.apply(base.clone()).with_strategy(SdaStrategy {
+                ssp,
+                psp: PspStrategy::Ud,
+            })
+        })
+        .collect();
+    let results = run_grid(cfgs, scale);
+    for (ssp, multi) in SspStrategy::ALL.into_iter().zip(&results) {
         table.row(&[
             ssp.label().to_string(),
             pct(multi.md_local()),
@@ -145,16 +182,21 @@ pub fn pex_error(scale: Scale) -> Table {
         ("bias 2x over", EstimationModel::bias(2.0)),
         ("class mean only", EstimationModel::ClassMean { mean: 1.0 }),
     ];
-    for (label, estimation) in models {
-        let cfg = scale
-            .apply(SimConfig {
-                estimation,
-                ..SimConfig::section8()
-            })
-            .with_strategy(SdaStrategy::eqf_div1());
-        let multi = run_point(&cfg, 2400, scale.replications());
+    let cfgs: Vec<SimConfig> = models
+        .iter()
+        .map(|(_, estimation)| {
+            scale
+                .apply(SimConfig {
+                    estimation: *estimation,
+                    ..SimConfig::section8()
+                })
+                .with_strategy(SdaStrategy::eqf_div1())
+        })
+        .collect();
+    let results = run_grid(cfgs, scale);
+    for ((label, _), multi) in models.iter().zip(&results) {
         table.row(&[
-            label.to_string(),
+            (*label).to_string(),
             pct(multi.md_local()),
             pct(multi.md_global()),
         ]);
@@ -170,18 +212,23 @@ pub fn gf_delta(scale: Scale) -> Table {
         "A5: GF sensitivity to the Δ shift (load 0.7)",
         &["delta", "MD_local", "MD_global"],
     );
-    for delta in [1.0, 10.0, 1.0e3, 1.0e9] {
-        let strategy = SdaStrategy {
-            ssp: SspStrategy::Ud,
-            psp: PspStrategy::Gf { delta },
-        };
-        let cfg = scale
-            .apply(SimConfig {
-                load: 0.7,
-                ..SimConfig::baseline()
-            })
-            .with_strategy(strategy);
-        let multi = run_point(&cfg, 2500, scale.replications());
+    let deltas = [1.0, 10.0, 1.0e3, 1.0e9];
+    let cfgs: Vec<SimConfig> = deltas
+        .iter()
+        .map(|&delta| {
+            scale
+                .apply(SimConfig {
+                    load: 0.7,
+                    ..SimConfig::baseline()
+                })
+                .with_strategy(SdaStrategy {
+                    ssp: SspStrategy::Ud,
+                    psp: PspStrategy::Gf { delta },
+                })
+        })
+        .collect();
+    let results = run_grid(cfgs, scale);
+    for (delta, multi) in deltas.iter().zip(&results) {
         table.row(&[
             format!("{delta:.0e}"),
             pct(multi.md_local()),
@@ -209,26 +256,36 @@ pub fn heterogeneous_nodes(scale: Scale) -> Table {
         ("2:1 split", vec![1.5, 1.5, 1.5, 0.5, 0.5, 0.5]),
         ("7:1 split", vec![1.75, 1.75, 1.75, 0.25, 0.25, 0.25]),
     ];
-    for (label, node_speeds) in speed_sets {
-        for (s_label, strategy) in [
-            ("UD", SdaStrategy::ud_ud()),
-            ("DIV-1", SdaStrategy::ud_div1()),
-            ("GF", gf),
-        ] {
-            let cfg = scale
-                .apply(SimConfig {
-                    node_speeds: node_speeds.clone(),
-                    ..SimConfig::baseline()
-                })
-                .with_strategy(strategy);
-            let multi = run_point(&cfg, 2600, scale.replications());
-            table.row(&[
-                label.to_string(),
-                s_label.to_string(),
-                pct(multi.md_local()),
-                pct(multi.md_global()),
-            ]);
-        }
+    let strategies = [
+        ("UD", SdaStrategy::ud_ud()),
+        ("DIV-1", SdaStrategy::ud_div1()),
+        ("GF", gf),
+    ];
+    let cells: Vec<(&str, &str, SimConfig)> = speed_sets
+        .iter()
+        .flat_map(|(label, node_speeds)| {
+            strategies.iter().map(|(s_label, strategy)| {
+                (
+                    *label,
+                    *s_label,
+                    scale
+                        .apply(SimConfig {
+                            node_speeds: node_speeds.clone(),
+                            ..SimConfig::baseline()
+                        })
+                        .with_strategy(*strategy),
+                )
+            })
+        })
+        .collect();
+    let results = run_grid(cells.iter().map(|c| c.2.clone()).collect(), scale);
+    for ((label, s_label, _), multi) in cells.iter().zip(&results) {
+        table.row(&[
+            (*label).to_string(),
+            (*s_label).to_string(),
+            pct(multi.md_local()),
+            pct(multi.md_global()),
+        ]);
     }
     table
 }
@@ -240,28 +297,39 @@ pub fn preemption(scale: Scale) -> Table {
         "A7: non-preemptive vs preemptive EDF (load 0.7)",
         &["mode", "strategy", "MD_local", "MD_global", "preemptions"],
     );
-    for (m_label, preemptive) in [("non-preemptive", false), ("preemptive", true)] {
-        for (s_label, strategy) in [
-            ("UD", SdaStrategy::ud_ud()),
-            ("DIV-1", SdaStrategy::ud_div1()),
-        ] {
-            let cfg = scale
-                .apply(SimConfig {
-                    preemptive,
-                    load: 0.7,
-                    ..SimConfig::baseline()
-                })
-                .with_strategy(strategy);
-            let multi = run_point(&cfg, 2700, scale.replications());
-            let preemptions: u64 = multi.runs().iter().map(|r| r.metrics.preemptions).sum();
-            table.row(&[
-                m_label.to_string(),
-                s_label.to_string(),
-                pct(multi.md_local()),
-                pct(multi.md_global()),
-                preemptions.to_string(),
-            ]);
-        }
+    let modes = [("non-preemptive", false), ("preemptive", true)];
+    let strategies = [
+        ("UD", SdaStrategy::ud_ud()),
+        ("DIV-1", SdaStrategy::ud_div1()),
+    ];
+    let cells: Vec<(&str, &str, SimConfig)> = modes
+        .iter()
+        .flat_map(|(m_label, preemptive)| {
+            strategies.iter().map(|(s_label, strategy)| {
+                (
+                    *m_label,
+                    *s_label,
+                    scale
+                        .apply(SimConfig {
+                            preemptive: *preemptive,
+                            load: 0.7,
+                            ..SimConfig::baseline()
+                        })
+                        .with_strategy(*strategy),
+                )
+            })
+        })
+        .collect();
+    let results = run_grid(cells.iter().map(|c| c.2.clone()).collect(), scale);
+    for ((m_label, s_label, _), multi) in cells.iter().zip(&results) {
+        let preemptions: u64 = multi.runs().iter().map(|r| r.metrics.preemptions).sum();
+        table.row(&[
+            (*m_label).to_string(),
+            (*s_label).to_string(),
+            pct(multi.md_local()),
+            pct(multi.md_global()),
+            preemptions.to_string(),
+        ]);
     }
     table
 }
@@ -274,20 +342,26 @@ pub fn service_shapes(scale: Scale) -> Table {
         "A8: service-time distribution shape (load 0.5, UD)",
         &["shape", "MD_local", "MD_global", "amplification"],
     );
-    for (label, service_shape) in [
+    let shapes = [
         ("exponential", ServiceShape::Exponential),
         ("uniform ±50%", ServiceShape::UniformSpread),
         ("deterministic", ServiceShape::Deterministic),
-    ] {
-        let cfg = scale.apply(SimConfig {
-            service_shape,
-            ..SimConfig::baseline()
-        });
-        let multi = run_point(&cfg, 2800, scale.replications());
+    ];
+    let cfgs: Vec<SimConfig> = shapes
+        .iter()
+        .map(|(_, service_shape)| {
+            scale.apply(SimConfig {
+                service_shape: *service_shape,
+                ..SimConfig::baseline()
+            })
+        })
+        .collect();
+    let results = run_grid(cfgs, scale);
+    for ((label, _), multi) in shapes.iter().zip(&results) {
         let local = multi.md_local().mean;
         let global = multi.md_global().mean;
         table.row(&[
-            label.to_string(),
+            (*label).to_string(),
             pct(multi.md_local()),
             pct(multi.md_global()),
             format!("{:.2}x", global / local.max(1e-9)),
@@ -311,30 +385,41 @@ pub fn placement(scale: Scale) -> Table {
         ssp: SspStrategy::Ud,
         psp: PspStrategy::gf(),
     };
-    for (p_label, placement) in [
+    let placements = [
         ("random distinct", Placement::RandomDistinct),
         ("least loaded", Placement::LeastLoaded),
-    ] {
-        for (s_label, strategy) in [
-            ("UD", SdaStrategy::ud_ud()),
-            ("DIV-1", SdaStrategy::ud_div1()),
-            ("GF", gf),
-        ] {
-            let cfg = scale
-                .apply(SimConfig {
-                    placement,
-                    load: 0.7,
-                    ..SimConfig::baseline()
-                })
-                .with_strategy(strategy);
-            let multi = run_point(&cfg, 2900, scale.replications());
-            table.row(&[
-                p_label.to_string(),
-                s_label.to_string(),
-                pct(multi.md_local()),
-                pct(multi.md_global()),
-            ]);
-        }
+    ];
+    let strategies = [
+        ("UD", SdaStrategy::ud_ud()),
+        ("DIV-1", SdaStrategy::ud_div1()),
+        ("GF", gf),
+    ];
+    let cells: Vec<(&str, &str, SimConfig)> = placements
+        .iter()
+        .flat_map(|(p_label, placement)| {
+            strategies.iter().map(|(s_label, strategy)| {
+                (
+                    *p_label,
+                    *s_label,
+                    scale
+                        .apply(SimConfig {
+                            placement: *placement,
+                            load: 0.7,
+                            ..SimConfig::baseline()
+                        })
+                        .with_strategy(*strategy),
+                )
+            })
+        })
+        .collect();
+    let results = run_grid(cells.iter().map(|c| c.2.clone()).collect(), scale);
+    for ((p_label, s_label, _), multi) in cells.iter().zip(&results) {
+        table.row(&[
+            (*p_label).to_string(),
+            (*s_label).to_string(),
+            pct(multi.md_local()),
+            pct(multi.md_global()),
+        ]);
     }
     table
 }
@@ -373,26 +458,36 @@ pub fn burstiness(scale: Scale) -> Table {
             }),
         ),
     ];
-    for (b_label, burst) in bursts {
-        for (s_label, strategy) in [
-            ("UD", SdaStrategy::ud_ud()),
-            ("DIV-1", SdaStrategy::ud_div1()),
-            ("GF", gf),
-        ] {
-            let cfg = scale
-                .apply(SimConfig {
-                    burst,
-                    ..SimConfig::baseline()
-                })
-                .with_strategy(strategy);
-            let multi = run_point(&cfg, 3000, scale.replications());
-            table.row(&[
-                b_label.to_string(),
-                s_label.to_string(),
-                pct(multi.md_local()),
-                pct(multi.md_global()),
-            ]);
-        }
+    let strategies = [
+        ("UD", SdaStrategy::ud_ud()),
+        ("DIV-1", SdaStrategy::ud_div1()),
+        ("GF", gf),
+    ];
+    let cells: Vec<(&str, &str, SimConfig)> = bursts
+        .iter()
+        .flat_map(|(b_label, burst)| {
+            strategies.iter().map(|(s_label, strategy)| {
+                (
+                    *b_label,
+                    *s_label,
+                    scale
+                        .apply(SimConfig {
+                            burst: *burst,
+                            ..SimConfig::baseline()
+                        })
+                        .with_strategy(*strategy),
+                )
+            })
+        })
+        .collect();
+    let results = run_grid(cells.iter().map(|c| c.2.clone()).collect(), scale);
+    for ((b_label, s_label, _), multi) in cells.iter().zip(&results) {
+        table.row(&[
+            (*b_label).to_string(),
+            (*s_label).to_string(),
+            pct(multi.md_local()),
+            pct(multi.md_global()),
+        ]);
     }
     table
 }

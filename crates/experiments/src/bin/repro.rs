@@ -1,87 +1,49 @@
 //! Umbrella reproduction: runs every table, figure, checkpoint, ablation,
 //! and extension, printing a full report.
 //!
-//! Usage: `repro [--scale quick|default|paper] [--out DIR]`
+//! Usage: `repro [--scale quick|default|paper] [--out DIR]
+//! [--cache-dir DIR | --no-cache]`
 //!
 //! With `--out DIR`, each artifact is also written to `DIR/<name>.csv`.
+//! With `--cache-dir DIR`, completed sweep points are memoized on disk,
+//! making repeated reproductions incremental.
 
-use sda_experiments::{ablations, checkpoints, extensions, figures, tables, Scale, Table};
+use std::process::ExitCode;
 
-fn out_dir() -> Option<std::path::PathBuf> {
+use sda_experiments::repro;
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        if arg == "--out" {
-            return Some(std::path::PathBuf::from(
-                iter.next().expect("--out needs a directory"),
-            ));
+    let options = match repro::parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("repro: {message}");
+            eprintln!(
+                "usage: repro [--scale quick|default|paper] [--out DIR] \
+                 [--cache-dir DIR | --no-cache]"
+            );
+            return ExitCode::from(2);
         }
-    }
-    None
-}
-
-fn main() {
-    let scale = Scale::from_args();
-    let out = out_dir();
-    if let Some(dir) = &out {
-        std::fs::create_dir_all(dir).expect("create output directory");
-    }
-    println!("# SDA reproduction report (scale: {scale})\n");
-
-    let mut artifacts: Vec<(&str, Table)> = Vec::new();
-    artifacts.push(("table1", tables::table1()));
-    artifacts.push(("table2", tables::table2()));
-
-    for (name, fig) in [
-        ("fig5", figures::fig5 as fn(Scale) -> figures::FigureResult),
-        ("fig6", figures::fig6),
-        ("fig7", figures::fig7),
-        ("fig9", figures::fig9),
-        ("fig10", figures::fig10),
-        ("fig11", figures::fig11),
-        ("fig12", figures::fig12),
-        ("fig15", figures::fig15),
-    ] {
-        eprintln!("running {name}...");
-        artifacts.push((name, fig(scale).table));
+    };
+    if let Err(e) = repro::install_exec(&options) {
+        eprintln!("repro: setting up the result cache: {e}");
+        return ExitCode::from(2);
     }
 
-    eprintln!("running checkpoints...");
-    artifacts.push(("checkpoints", checkpoints::run(scale).0));
-
-    for (name, ablation) in [
-        (
-            "a1_local_abort",
-            ablations::local_abort as fn(Scale) -> Table,
-        ),
-        ("a2_sched", ablations::sched_policies),
-        ("a3_ssp", ablations::ssp_family),
-        ("a4_pex_error", ablations::pex_error),
-        ("a5_gf_delta", ablations::gf_delta),
-        ("a6_heterogeneous", ablations::heterogeneous_nodes),
-        ("a7_preemption", ablations::preemption),
-        ("a8_service_shape", ablations::service_shapes),
-        ("a9_placement", ablations::placement),
-        ("a10_burstiness", ablations::burstiness),
-    ] {
-        eprintln!("running ablation {name}...");
-        artifacts.push((name, ablation(scale)));
-    }
-
-    eprintln!("running extension E1...");
-    artifacts.push(("e1_stages", extensions::stage_sweep(scale).0));
-    eprintln!("running extension E2...");
-    artifacts.push(("e2_slack", extensions::slack_sweep(scale).0));
-
-    for (name, table) in &artifacts {
+    println!("# SDA reproduction report (scale: {})\n", options.scale);
+    let artifacts = repro::artifacts(options.scale);
+    for (_, table) in &artifacts {
         println!("{table}");
-        if let Some(dir) = &out {
-            let path = dir.join(format!("{name}.csv"));
-            std::fs::write(&path, table.to_csv())
-                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
-        }
     }
-    if let Some(dir) = &out {
+    if let Some(dir) = &options.out {
+        if let Err(message) = repro::write_csvs(dir, &artifacts) {
+            eprintln!("repro: {message}");
+            return ExitCode::FAILURE;
+        }
         eprintln!("wrote {} CSV files to {}", artifacts.len(), dir.display());
     }
+    if let Some(summary) = repro::cache_summary() {
+        eprintln!("{summary}");
+    }
+    ExitCode::SUCCESS
 }

@@ -9,7 +9,7 @@ use sda_core::analysis::global_miss_probability;
 use sda_core::SdaStrategy;
 use sda_sim::{AbortPolicy, SimConfig};
 
-use crate::run::run_point;
+use crate::run::{run_points, Point};
 use crate::scale::Scale;
 use crate::table::Table;
 
@@ -35,31 +35,34 @@ impl Checkpoint {
 
 /// Runs all §6.1/§7.3 checkpoints at the baseline point (load 0.5).
 pub fn run(scale: Scale) -> (Table, Vec<Checkpoint>) {
-    // Common random numbers: the same base seed (hence the same derived
-    // replication seeds) across all four configurations.
+    // Common random numbers: the campaign seed (hence the same derived
+    // replication seeds) across all four configurations. All four points
+    // re-measure cells that also appear in figures 5–7 and 11, so under
+    // the sweep engine's cache they usually resolve without simulating.
     let reps = scale.replications().max(2);
-
-    // §6.1, UD at load 0.5.
-    let ud = run_point(&scale.apply(SimConfig::baseline()), 42, reps);
-    // §6.1, DIV-1 at load 0.5.
-    let div1 = run_point(
-        &scale
-            .apply(SimConfig::baseline())
-            .with_strategy(SdaStrategy::ud_div1()),
-        42,
-        reps,
-    );
-    // §7.3, process-manager abortion at load 0.5.
     let abort_cfg = SimConfig {
         abort: AbortPolicy::ProcessManager,
         ..SimConfig::baseline()
     };
-    let ud_abort = run_point(&scale.apply(abort_cfg.clone()), 42, reps);
-    let div1_abort = run_point(
-        &scale.apply(abort_cfg).with_strategy(SdaStrategy::ud_div1()),
-        42,
-        reps,
-    );
+    let results = run_points(&[
+        // §6.1, UD at load 0.5.
+        Point::new(scale.apply(SimConfig::baseline()), reps),
+        // §6.1, DIV-1 at load 0.5.
+        Point::new(
+            scale
+                .apply(SimConfig::baseline())
+                .with_strategy(SdaStrategy::ud_div1()),
+            reps,
+        ),
+        // §7.3, process-manager abortion at load 0.5.
+        Point::new(scale.apply(abort_cfg.clone()), reps),
+        Point::new(
+            scale.apply(abort_cfg).with_strategy(SdaStrategy::ud_div1()),
+            reps,
+        ),
+    ]);
+    let [ud, div1, ud_abort, div1_abort]: [_; 4] =
+        results.try_into().expect("four points in, four out");
 
     let subtask_p = ud.md_subtask().mean;
     let checkpoints = vec![

@@ -14,7 +14,7 @@ use sda_sim::{GlobalShape, SimConfig};
 use sda_simcore::dist::Uniform;
 
 use crate::pct;
-use crate::run::run_point;
+use crate::run::{run_points, Point};
 use crate::scale::Scale;
 use crate::table::Table;
 
@@ -47,15 +47,20 @@ pub fn stage_sweep(scale: Scale) -> (Table, Vec<f64>) {
         "E1: EQF gain vs number of serial stages (load 0.5, slack scaled by stages)",
         &["stages", "MD_global[UD]", "MD_global[EQF]", "gain (pp)"],
     );
+    let grid: Vec<Point> = E1_STAGES
+        .iter()
+        .flat_map(|&stages| {
+            let base = pipeline_config(stages, 1.0);
+            [
+                Point::new(scale.apply(base.clone()), scale.replications()),
+                Point::new(scale.apply(base).with_strategy(eqf()), scale.replications()),
+            ]
+        })
+        .collect();
+    let results = run_points(&grid);
     let mut gains = Vec::new();
-    for &stages in &E1_STAGES {
-        let base = pipeline_config(stages, 1.0);
-        let ud = run_point(&scale.apply(base.clone()), 3100, scale.replications());
-        let eqf_run = run_point(
-            &scale.apply(base).with_strategy(eqf()),
-            3100,
-            scale.replications(),
-        );
+    for (&stages, pair) in E1_STAGES.iter().zip(results.chunks(2)) {
+        let (ud, eqf_run) = (&pair[0], &pair[1]);
         let gain = ud.md_global().mean - eqf_run.md_global().mean;
         gains.push(gain);
         table.row(&[
@@ -85,18 +90,23 @@ pub fn slack_sweep(scale: Scale) -> (Table, Vec<(f64, f64)>) {
             "gain (pp)",
         ],
     );
+    let grid: Vec<Point> = E2_TIGHTNESS
+        .iter()
+        .flat_map(|&tightness| {
+            let base = SimConfig {
+                load: 0.6,
+                ..pipeline_config(5, tightness)
+            };
+            [
+                Point::new(scale.apply(base.clone()), scale.replications()),
+                Point::new(scale.apply(base).with_strategy(eqf()), scale.replications()),
+            ]
+        })
+        .collect();
+    let results = run_points(&grid);
     let mut points = Vec::new();
-    for &tightness in &E2_TIGHTNESS {
-        let base = SimConfig {
-            load: 0.6,
-            ..pipeline_config(5, tightness)
-        };
-        let ud = run_point(&scale.apply(base.clone()), 3200, scale.replications());
-        let eqf_run = run_point(
-            &scale.apply(base).with_strategy(eqf()),
-            3200,
-            scale.replications(),
-        );
+    for (&tightness, pair) in E2_TIGHTNESS.iter().zip(results.chunks(2)) {
+        let (ud, eqf_run) = (&pair[0], &pair[1]);
         let md_ud = ud.md_global().mean;
         let gain = md_ud - eqf_run.md_global().mean;
         points.push((md_ud, gain));

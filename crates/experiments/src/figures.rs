@@ -9,7 +9,7 @@ use sda_core::{PspStrategy, SdaStrategy, SspStrategy};
 use sda_sim::{AbortPolicy, GlobalShape, SimConfig};
 use sda_simcore::stats::Estimate;
 
-use crate::run::run_point;
+use crate::run::{run_points, Point};
 use crate::scale::Scale;
 use crate::table::Table;
 use crate::{pct, LOAD_SWEEP};
@@ -81,39 +81,46 @@ impl FigureResult {
     }
 }
 
-/// Runs a (strategy × load) sweep over a base configuration, using common
-/// random numbers (the same seeds at every strategy/load) so strategy
-/// comparisons are paired.
+/// Runs a (strategy × load) sweep over a base configuration as one
+/// batch, so the engine schedules every replication of every cell across
+/// its worker pool. All cells use the campaign seed (common random
+/// numbers), so strategy comparisons are paired.
 fn sweep(
     base: &SimConfig,
     strategies: &[(&str, SdaStrategy)],
     loads: &[f64],
     scale: Scale,
-    seed_base: u64,
 ) -> Vec<Series> {
-    strategies
+    let grid: Vec<Point> = strategies
         .iter()
-        .map(|(label, strategy)| {
-            let points = loads
-                .iter()
-                .map(|&load| {
-                    let cfg = scale
+        .flat_map(|(_, strategy)| {
+            loads.iter().map(|&load| {
+                Point::new(
+                    scale
                         .apply(base.clone())
                         .with_load(load)
-                        .with_strategy(*strategy);
-                    let multi = run_point(&cfg, seed_base, scale.replications());
-                    LoadPoint {
-                        load,
-                        md_local: multi.md_local(),
-                        md_subtask: multi.md_subtask(),
-                        md_global: multi.md_global(),
-                    }
+                        .with_strategy(*strategy),
+                    scale.replications(),
+                )
+            })
+        })
+        .collect();
+    let results = run_points(&grid);
+    strategies
+        .iter()
+        .zip(results.chunks(loads.len()))
+        .map(|((label, _), row)| Series {
+            label: (*label).to_string(),
+            points: loads
+                .iter()
+                .zip(row)
+                .map(|(&load, multi)| LoadPoint {
+                    load,
+                    md_local: multi.md_local(),
+                    md_subtask: multi.md_subtask(),
+                    md_global: multi.md_global(),
                 })
-                .collect();
-            Series {
-                label: (*label).to_string(),
-                points,
-            }
+                .collect(),
         })
         .collect()
 }
@@ -150,13 +157,7 @@ fn load_table(title: &str, series: &[Series], with_subtask: bool) -> Table {
 /// measured `MD_global` (the §6.1 cross-check).
 pub fn fig5(scale: Scale) -> FigureResult {
     let base = SimConfig::baseline();
-    let series = sweep(
-        &base,
-        &[("UD", SdaStrategy::ud_ud())],
-        &LOAD_SWEEP,
-        scale,
-        500,
-    );
+    let series = sweep(&base, &[("UD", SdaStrategy::ud_ud())], &LOAD_SWEEP, scale);
     let mut table = Table::new(
         "Figure 5: UD in the baseline experiment (k=6, n=4, frac_local=0.75)",
         &[
@@ -195,7 +196,7 @@ pub fn fig6(scale: Scale) -> FigureResult {
             },
         ),
     ];
-    let series = sweep(&SimConfig::baseline(), &strategies, &LOAD_SWEEP, scale, 600);
+    let series = sweep(&SimConfig::baseline(), &strategies, &LOAD_SWEEP, scale);
     let table = load_table(
         "Figure 6: UD vs DIV-x in the baseline experiment",
         &series,
@@ -217,7 +218,7 @@ pub fn fig7(scale: Scale) -> FigureResult {
             },
         ),
     ];
-    let series = sweep(&SimConfig::baseline(), &strategies, &LOAD_SWEEP, scale, 700);
+    let series = sweep(&SimConfig::baseline(), &strategies, &LOAD_SWEEP, scale);
     let table = load_table(
         "Figure 7: UD, DIV-1, and GF in the baseline experiment",
         &series,
@@ -233,32 +234,44 @@ pub const FIG9_X: [f64; 7] = [0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 8.0];
 /// load 0.5. Series come back in order n=2, n=4, n=6, with `point.load`
 /// reused to carry the x value.
 pub fn fig9(scale: Scale) -> FigureResult {
-    let mut series = Vec::new();
-    for n in [2usize, 4, 6] {
-        let base = SimConfig {
-            shape: GlobalShape::ParallelFixed { n },
-            ..SimConfig::baseline()
-        };
-        let mut points = Vec::new();
-        for &x in &FIG9_X {
-            let strategy = SdaStrategy {
-                ssp: SspStrategy::Ud,
-                psp: PspStrategy::div(x),
-            };
-            let cfg = scale.apply(base.clone()).with_strategy(strategy);
-            let multi = run_point(&cfg, 900, scale.replications());
-            points.push(LoadPoint {
-                load: x, // x value, not load: the sweep variable
-                md_local: multi.md_local(),
-                md_subtask: multi.md_subtask(),
-                md_global: multi.md_global(),
-            });
-        }
-        series.push(Series {
+    let fanouts = [2usize, 4, 6];
+    let grid: Vec<Point> = fanouts
+        .iter()
+        .flat_map(|&n| {
+            FIG9_X.iter().map(move |&x| {
+                let base = SimConfig {
+                    shape: GlobalShape::ParallelFixed { n },
+                    ..SimConfig::baseline()
+                };
+                let strategy = SdaStrategy {
+                    ssp: SspStrategy::Ud,
+                    psp: PspStrategy::div(x),
+                };
+                Point::new(
+                    scale.apply(base).with_strategy(strategy),
+                    scale.replications(),
+                )
+            })
+        })
+        .collect();
+    let results = run_points(&grid);
+    let series: Vec<Series> = fanouts
+        .iter()
+        .zip(results.chunks(FIG9_X.len()))
+        .map(|(&n, row)| Series {
             label: format!("n={n}"),
-            points,
-        });
-    }
+            points: FIG9_X
+                .iter()
+                .zip(row)
+                .map(|(&x, multi)| LoadPoint {
+                    load: x, // x value, not load: the sweep variable
+                    md_local: multi.md_local(),
+                    md_subtask: multi.md_subtask(),
+                    md_global: multi.md_global(),
+                })
+                .collect(),
+        })
+        .collect();
     let mut table = Table::new(
         "Figure 9: MD under DIV-x as a function of x (load 0.5)",
         &[
@@ -303,32 +316,40 @@ pub fn fig10(scale: Scale) -> FigureResult {
             },
         ),
     ];
-    let mut series: Vec<Series> = strategies
+    let grid: Vec<Point> = strategies
         .iter()
-        .map(|(label, _)| Series {
-            label: (*label).to_string(),
-            points: Vec::new(),
+        .flat_map(|(_, strategy)| {
+            FIG10_FRAC.iter().map(|&frac| {
+                let cfg = Scale::apply(
+                    scale,
+                    SimConfig {
+                        frac_local: frac,
+                        ..SimConfig::baseline()
+                    },
+                )
+                .with_strategy(*strategy);
+                Point::new(cfg, scale.replications())
+            })
         })
         .collect();
-    for &frac in &FIG10_FRAC {
-        for (i, (_, strategy)) in strategies.iter().enumerate() {
-            let cfg = Scale::apply(
-                scale,
-                SimConfig {
-                    frac_local: frac,
-                    ..SimConfig::baseline()
-                },
-            )
-            .with_strategy(*strategy);
-            let multi = run_point(&cfg, 1000, scale.replications());
-            series[i].points.push(LoadPoint {
-                load: frac, // the sweep variable
-                md_local: multi.md_local(),
-                md_subtask: multi.md_subtask(),
-                md_global: multi.md_global(),
-            });
-        }
-    }
+    let results = run_points(&grid);
+    let series: Vec<Series> = strategies
+        .iter()
+        .zip(results.chunks(FIG10_FRAC.len()))
+        .map(|((label, _), row)| Series {
+            label: (*label).to_string(),
+            points: FIG10_FRAC
+                .iter()
+                .zip(row)
+                .map(|(&frac, multi)| LoadPoint {
+                    load: frac, // the sweep variable
+                    md_local: multi.md_local(),
+                    md_subtask: multi.md_subtask(),
+                    md_global: multi.md_global(),
+                })
+                .collect(),
+        })
+        .collect();
     let mut table = Table::new(
         "Figure 10: DIV-1 (a) and GF (b) vs frac_local (load 0.5; UD for reference)",
         &[
@@ -377,7 +398,7 @@ pub fn fig11(scale: Scale) -> FigureResult {
         abort: AbortPolicy::ProcessManager,
         ..SimConfig::baseline()
     };
-    let series = sweep(&base, &strategies, &LOAD_SWEEP, scale, 1100);
+    let series = sweep(&base, &strategies, &LOAD_SWEEP, scale);
     let table = load_table(
         "Figure 11: UD and DIV-1 with process-manager abortion (GF shown too)",
         &series,
@@ -405,10 +426,18 @@ pub fn fig12(scale: Scale) -> FigureResult {
         shape: GlobalShape::ParallelUniform { lo: 2, hi: 6 },
         ..SimConfig::baseline()
     };
+    let grid: Vec<Point> = strategies
+        .iter()
+        .map(|(_, strategy)| {
+            Point::new(
+                scale.apply(base.clone()).with_strategy(*strategy),
+                scale.replications(),
+            )
+        })
+        .collect();
+    let results = run_points(&grid);
     let mut series = Vec::new();
-    for (label, strategy) in strategies {
-        let cfg = scale.apply(base.clone()).with_strategy(strategy);
-        let multi = run_point(&cfg, 1200, scale.replications());
+    for ((label, _), multi) in strategies.iter().zip(&results) {
         let mut points = vec![LoadPoint {
             load: 0.0, // class: local
             md_local: multi.md_local(),
@@ -465,13 +494,7 @@ pub fn fig15(scale: Scale) -> FigureResult {
         ("EQF-UD", SdaStrategy::eqf_ud()),
         ("EQF-DIV1", SdaStrategy::eqf_div1()),
     ];
-    let series = sweep(
-        &SimConfig::section8(),
-        &strategies,
-        &FIG15_LOADS,
-        scale,
-        1500,
-    );
+    let series = sweep(&SimConfig::section8(), &strategies, &FIG15_LOADS, scale);
     let table = load_table(
         "Figure 15: SDA strategy combinations on the Figure 14 task graph",
         &series,

@@ -34,6 +34,7 @@ pub mod claims;
 pub mod extensions;
 pub mod figures;
 pub mod gantt;
+pub mod repro;
 pub mod run;
 pub mod scale;
 pub mod table;

@@ -1,0 +1,215 @@
+//! The umbrella reproduction as a library: the full artifact set and the
+//! `repro` binary's argument parsing, shared with the determinism test
+//! and the sweep benchmark.
+
+use std::path::PathBuf;
+
+use crate::run::{cache_report, install, Exec};
+use crate::table::Table;
+use crate::{ablations, checkpoints, claims, extensions, figures, tables, Scale};
+
+/// Parsed `repro` command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Experiment scale (`--scale quick|default|paper`, default
+    /// `default`).
+    pub scale: Scale,
+    /// Directory to write per-artifact CSVs into (`--out DIR`).
+    pub out: Option<PathBuf>,
+    /// On-disk result cache directory (`--cache-dir DIR`), making
+    /// repeated reproductions incremental.
+    pub cache_dir: Option<PathBuf>,
+    /// Disable result caching entirely (`--no-cache`).
+    pub no_cache: bool,
+}
+
+/// Parses the `repro` argument list.
+///
+/// # Errors
+///
+/// Returns a message naming the offending flag: a flag missing its
+/// value, an unknown scale, `--cache-dir` combined with `--no-cache`, or
+/// an unrecognized argument.
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        scale: Scale::Default,
+        out: None,
+        cache_dir: None,
+        no_cache: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = iter.next().ok_or("--scale needs a value")?;
+                options.scale = Scale::parse(value)?;
+            }
+            "--out" => {
+                options.out = Some(PathBuf::from(iter.next().ok_or("--out needs a directory")?));
+            }
+            "--cache-dir" => {
+                options.cache_dir = Some(PathBuf::from(
+                    iter.next().ok_or("--cache-dir needs a directory")?,
+                ));
+            }
+            "--no-cache" => options.no_cache = true,
+            other => {
+                // Bare scale names are accepted for parity with the other
+                // experiment binaries (`repro quick`).
+                options.scale =
+                    Scale::parse(other).map_err(|_| format!("unrecognized argument {other:?}"))?;
+            }
+        }
+    }
+    if options.no_cache && options.cache_dir.is_some() {
+        return Err("--no-cache conflicts with --cache-dir".to_string());
+    }
+    Ok(options)
+}
+
+/// Installs the process-wide execution mode the options ask for.
+///
+/// # Errors
+///
+/// Returns the error from creating the cache directory.
+pub fn install_exec(options: &Options) -> std::io::Result<()> {
+    let exec = if options.no_cache {
+        Exec::sweep_uncached()
+    } else if let Some(dir) = &options.cache_dir {
+        Exec::sweep_with_dir(dir)?
+    } else {
+        Exec::sweep()
+    };
+    install(exec);
+    Ok(())
+}
+
+/// Runs every table, figure, checkpoint, ablation, and extension at the
+/// given scale, returning the named artifacts in report order. Progress
+/// goes to stderr so stdout stays a clean report.
+pub fn artifacts(scale: Scale) -> Vec<(&'static str, Table)> {
+    let mut artifacts: Vec<(&'static str, Table)> = Vec::new();
+    artifacts.push(("table1", tables::table1()));
+    artifacts.push(("table2", tables::table2()));
+
+    for (name, fig) in [
+        ("fig5", figures::fig5 as fn(Scale) -> figures::FigureResult),
+        ("fig6", figures::fig6),
+        ("fig7", figures::fig7),
+        ("fig9", figures::fig9),
+        ("fig10", figures::fig10),
+        ("fig11", figures::fig11),
+        ("fig12", figures::fig12),
+        ("fig15", figures::fig15),
+    ] {
+        eprintln!("running {name}...");
+        artifacts.push((name, fig(scale).table));
+    }
+
+    eprintln!("running checkpoints...");
+    artifacts.push(("checkpoints", checkpoints::run(scale).0));
+
+    for (name, ablation) in [
+        (
+            "a1_local_abort",
+            ablations::local_abort as fn(Scale) -> Table,
+        ),
+        ("a2_sched", ablations::sched_policies),
+        ("a3_ssp", ablations::ssp_family),
+        ("a4_pex_error", ablations::pex_error),
+        ("a5_gf_delta", ablations::gf_delta),
+        ("a6_heterogeneous", ablations::heterogeneous_nodes),
+        ("a7_preemption", ablations::preemption),
+        ("a8_service_shape", ablations::service_shapes),
+        ("a9_placement", ablations::placement),
+        ("a10_burstiness", ablations::burstiness),
+    ] {
+        eprintln!("running ablation {name}...");
+        artifacts.push((name, ablation(scale)));
+    }
+
+    eprintln!("running extension E1...");
+    artifacts.push(("e1_stages", extensions::stage_sweep(scale).0));
+    eprintln!("running extension E2...");
+    artifacts.push(("e2_slack", extensions::slack_sweep(scale).0));
+
+    // The claim checks re-measure cells from the figures and checkpoints
+    // above, so under the sweep engine's cache they render without
+    // simulating anything new.
+    eprintln!("running claim validation...");
+    artifacts.push(("claims", claims::render(&claims::validate(scale))));
+
+    artifacts
+}
+
+/// Writes each artifact to `DIR/<name>.csv`.
+///
+/// # Errors
+///
+/// Returns the first write error, naming the file.
+pub fn write_csvs(dir: &std::path::Path, artifacts: &[(&str, Table)]) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    for (name, table) in artifacts {
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, table.to_csv())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+/// The cache hit/miss summary line printed (and greppable by CI) after a
+/// reproduction, e.g.
+/// `cache: 120/155 points hit (77.4% — memory 120, disk 0), 35 simulated`.
+pub fn cache_summary() -> Option<String> {
+    cache_report().map(|r| r.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_accepts_all_flags() {
+        let options = parse_args(&args(&[
+            "--scale",
+            "quick",
+            "--out",
+            "report",
+            "--cache-dir",
+            "cache",
+        ]))
+        .unwrap();
+        assert_eq!(options.scale, Scale::Quick);
+        assert_eq!(options.out.as_deref(), Some(std::path::Path::new("report")));
+        assert_eq!(
+            options.cache_dir.as_deref(),
+            Some(std::path::Path::new("cache"))
+        );
+        assert!(!options.no_cache);
+    }
+
+    #[test]
+    fn parse_errors_name_the_flag() {
+        for (argv, needle) in [
+            (args(&["--out"]), "--out"),
+            (args(&["--scale"]), "--scale"),
+            (args(&["--cache-dir"]), "--cache-dir"),
+            (args(&["--scale", "galactic"]), "galactic"),
+            (args(&["--frobnicate"]), "--frobnicate"),
+            (args(&["--no-cache", "--cache-dir", "d"]), "--no-cache"),
+        ] {
+            let err = parse_args(&argv).unwrap_err();
+            assert!(err.contains(needle), "{err:?} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_bare_scale() {
+        assert_eq!(parse_args(&args(&["paper"])).unwrap().scale, Scale::Paper);
+        assert_eq!(parse_args(&args(&[])).unwrap().scale, Scale::Default);
+    }
+}

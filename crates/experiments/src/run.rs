@@ -1,61 +1,322 @@
 //! Shared replication driver for every experiment sweep.
 //!
 //! All tables, figures, ablations and checkpoints funnel through
-//! [`run_point`], so one place decides how a data point is executed:
-//! the [`Runner`] with the SplitMix64-derived seed
-//! stream and the parallelism picked by [`jobs`]. Sweeps that compare
-//! configurations reuse the same base seed across configurations
-//! (common random numbers), which the derived stream preserves — the
-//! seed of replication `i` depends only on `(base, i)`.
+//! [`run_points`] (or its single-point wrapper [`run_point`]), so one
+//! place decides how data points are executed: by default the
+//! campaign-level [`Sweep`] engine, which schedules every replication of
+//! every point across one work-stealing worker pool and memoizes
+//! completed points in a [`PointCache`].
+//!
+//! # Common random numbers, campaign-wide
+//!
+//! Every experiment uses the same base seed, [`CAMPAIGN_SEED`]: the seed
+//! of replication `i` depends only on `(CAMPAIGN_SEED, i)`, so every
+//! configuration — across strategies, loads, *and figures* — sees
+//! identical arrival and service draws. That is the classic
+//! common-random-numbers variance reduction for paired comparisons, and
+//! it makes config-identical points (the UD baseline curve appears in
+//! several figures; checkpoints re-measure figure cells) resolve to
+//! identical cache keys, so the sweep engine simulates each unique point
+//! exactly once per campaign.
+//!
+//! # Choosing an execution mode
+//!
+//! The process-wide mode is installed once (by `repro` or the CLI) with
+//! [`install`]; everything after that call uses it. Tests that need a
+//! specific mode run under the scoped [`with_exec`] override instead.
 
-use sda_sim::{MultiRun, Runner, SimConfig, StopRule};
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// Worker threads per data point: the `SDA_JOBS` environment variable,
-/// or `0` (automatic — the machine's available parallelism).
-///
-/// Sweeps run their points sequentially and parallelize *within* each
-/// point, which keeps output ordering deterministic while still using
-/// every core.
+use sda_sim::{CacheReport, MultiRun, PointCache, Runner, SimConfig, StopRule, Sweep, SweepPoint};
+
+/// The single base seed shared by the whole campaign (see the
+/// [module docs](self)).
+pub const CAMPAIGN_SEED: u64 = 42;
+
+/// Worker threads: the `SDA_JOBS` environment variable, or `0`
+/// (automatic — the machine's available parallelism). Parsed once per
+/// process.
 pub fn jobs() -> usize {
-    std::env::var("SDA_JOBS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0)
+    static JOBS: OnceLock<usize> = OnceLock::new();
+    *JOBS.get_or_init(|| {
+        std::env::var("SDA_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    })
 }
 
-/// Runs one experiment data point: `reps` independent replications of
-/// `cfg` from `base_seed`, on parallel worker threads.
+/// One experiment data point: a configuration, its base seed, and a
+/// fixed replication count.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// The configuration to simulate.
+    pub cfg: SimConfig,
+    /// Base seed of the derived replication seed stream.
+    pub seed: u64,
+    /// Number of replications.
+    pub reps: usize,
+}
+
+impl Point {
+    /// A point at the campaign seed.
+    pub fn new(cfg: SimConfig, reps: usize) -> Point {
+        Point {
+            cfg,
+            seed: CAMPAIGN_SEED,
+            reps,
+        }
+    }
+}
+
+/// How experiment points are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// The sweep engine: one work-stealing pool over all replications of
+    /// all points, with point-level memoization.
+    Sweep,
+    /// The pre-engine behavior — one [`Runner`] per point, a thread
+    /// barrier between points, no memoization. Kept as the comparison
+    /// baseline for the sweep benchmark.
+    Baseline,
+}
+
+/// An execution context for experiment sweeps: a mode, a worker count,
+/// and (in sweep mode) the cache shared by every sweep in the campaign.
+#[derive(Debug, Clone)]
+pub struct Exec {
+    mode: Mode,
+    jobs: usize,
+    cache: Option<Arc<PointCache>>,
+}
+
+impl Exec {
+    /// The default: the sweep engine with an in-memory cache, so
+    /// config-identical points across figures are simulated once per
+    /// process.
+    pub fn sweep() -> Exec {
+        Exec {
+            mode: Mode::Sweep,
+            jobs: jobs(),
+            cache: Some(Arc::new(PointCache::in_memory())),
+        }
+    }
+
+    /// The sweep engine backed by an on-disk cache directory, making
+    /// reproductions incremental across processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from creating the directory.
+    pub fn sweep_with_dir(dir: impl Into<std::path::PathBuf>) -> std::io::Result<Exec> {
+        Ok(Exec {
+            mode: Mode::Sweep,
+            jobs: jobs(),
+            cache: Some(Arc::new(PointCache::with_dir(dir)?)),
+        })
+    }
+
+    /// The sweep engine with no cache at all: no cross-figure
+    /// memoization, no disk. Points duplicated *within* one
+    /// [`run_points`] call are still deduplicated by the engine.
+    pub fn sweep_uncached() -> Exec {
+        Exec {
+            mode: Mode::Sweep,
+            jobs: jobs(),
+            cache: None,
+        }
+    }
+
+    /// The sequential per-point baseline: every point runs its own
+    /// `Runner` loop with no sharing between points — the pre-engine
+    /// execution model, kept as the benchmark comparison target.
+    pub fn baseline() -> Exec {
+        Exec {
+            mode: Mode::Baseline,
+            jobs: jobs(),
+            cache: None,
+        }
+    }
+
+    /// Overrides the worker-thread count (`0` = automatic).
+    pub fn with_jobs(mut self, jobs: usize) -> Exec {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The cache's hit/miss accounting, when a cache is attached.
+    pub fn cache_report(&self) -> Option<CacheReport> {
+        self.cache.as_ref().map(|c| c.report())
+    }
+
+    /// Executes a batch of points and returns their results in order.
+    fn run(&self, points: &[Point]) -> Vec<MultiRun> {
+        match self.mode {
+            Mode::Sweep => {
+                let mut sweep = Sweep::new().jobs(self.jobs).points(
+                    points
+                        .iter()
+                        .map(|p| {
+                            SweepPoint::new(p.cfg.clone(), p.seed).stop(StopRule::FixedReps(p.reps))
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                if let Some(cache) = &self.cache {
+                    sweep = sweep.cache(Arc::clone(cache));
+                }
+                sweep.execute().expect("experiment configuration validates")
+            }
+            Mode::Baseline => points
+                .iter()
+                .map(|p| {
+                    Runner::new(p.cfg.clone())
+                        .seed(p.seed)
+                        .jobs(self.jobs)
+                        .stop(StopRule::FixedReps(p.reps))
+                        .execute()
+                        .expect("experiment configuration validates")
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide execution context, installed by [`install`].
+static GLOBAL: OnceLock<Exec> = OnceLock::new();
+
+thread_local! {
+    /// A scoped override used by tests ([`with_exec`]); checked before
+    /// the process-wide context.
+    static OVERRIDE: Mutex<Vec<Exec>> = const { Mutex::new(Vec::new()) };
+}
+
+/// Installs the process-wide execution context. Call once, before the
+/// first experiment runs (later calls are ignored — the first
+/// installation wins, matching [`OnceLock`] semantics).
+pub fn install(exec: Exec) {
+    let _ = GLOBAL.set(exec);
+}
+
+/// Runs `f` with `exec` as this thread's execution context, restoring
+/// the previous context afterwards. For tests that must pin a mode
+/// without touching process state.
+pub fn with_exec<T>(exec: Exec, f: impl FnOnce() -> T) -> T {
+    OVERRIDE.with(|stack| stack.lock().expect("exec override").push(exec));
+    // Pop even if `f` panics, so one failing test cannot leak its
+    // context into the next test on this thread.
+    struct Pop;
+    impl Drop for Pop {
+        fn drop(&mut self) {
+            OVERRIDE.with(|stack| {
+                stack.lock().expect("exec override").pop();
+            });
+        }
+    }
+    let _pop = Pop;
+    f()
+}
+
+/// The execution context in effect on this thread: the innermost
+/// [`with_exec`] override, else the installed process-wide context, else
+/// the default [`Exec::sweep`] (installed on first use).
+fn current() -> Exec {
+    let overridden = OVERRIDE.with(|stack| stack.lock().expect("exec override").last().cloned());
+    if let Some(exec) = overridden {
+        return exec;
+    }
+    GLOBAL.get_or_init(Exec::sweep).clone()
+}
+
+/// The hit/miss accounting of the current context's cache, if any.
+pub fn cache_report() -> Option<CacheReport> {
+    current().cache_report()
+}
+
+/// Runs a batch of experiment data points — all points of a figure or
+/// table at once — and returns their results in point order. Batching a
+/// whole figure into one call lets the engine interleave replications of
+/// different points across workers instead of running point-by-point.
 ///
 /// # Panics
 ///
-/// Panics if the configuration fails validation — experiment
+/// Panics if a configuration fails validation — experiment
 /// configurations are constructed by the harness and must be valid.
+pub fn run_points(points: &[Point]) -> Vec<MultiRun> {
+    current().run(points)
+}
+
+/// Runs one experiment data point: `reps` independent replications of
+/// `cfg` from `base_seed`. Prefer [`run_points`] for whole sweeps.
+///
+/// # Panics
+///
+/// Panics if the configuration fails validation.
 pub fn run_point(cfg: &SimConfig, base_seed: u64, reps: usize) -> MultiRun {
-    Runner::new(cfg.clone())
-        .seed(base_seed)
-        .jobs(jobs())
-        .stop(StopRule::FixedReps(reps))
-        .execute()
-        .expect("experiment configuration validates")
+    current()
+        .run(&[Point {
+            cfg: cfg.clone(),
+            seed: base_seed,
+            reps,
+        }])
+        .pop()
+        .expect("one point in, one result out")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn run_point_uses_the_derived_seed_stream() {
-        let cfg = SimConfig {
+    fn quick() -> SimConfig {
+        SimConfig {
             duration: 2_000.0,
             warmup: 100.0,
             ..SimConfig::baseline()
-        };
-        let multi = run_point(&cfg, 42, 2);
+        }
+    }
+
+    #[test]
+    fn run_point_uses_the_derived_seed_stream() {
+        let multi = run_point(&quick(), 42, 2);
         assert_eq!(multi.runs().len(), 2);
         assert_eq!(
             multi.runs()[0].seed,
             sda_simcore::rng::derive_seed(42, 0),
             "common-random-numbers contract: seeds depend only on (base, i)"
         );
+    }
+
+    #[test]
+    fn sweep_and_baseline_modes_agree_bit_for_bit() {
+        let points = [
+            Point::new(quick(), 2),
+            Point::new(quick().with_load(0.7), 2),
+        ];
+        let swept = with_exec(Exec::sweep().with_jobs(3), || run_points(&points));
+        let sequential = with_exec(Exec::baseline().with_jobs(1), || run_points(&points));
+        for (a, b) in swept.iter().zip(&sequential) {
+            assert_eq!(a.stats().to_json(), b.stats().to_json());
+            for (x, y) in a.runs().iter().zip(b.runs()) {
+                assert_eq!(
+                    x.metrics.md_global().to_bits(),
+                    y.metrics.md_global().to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn with_exec_restores_the_previous_context() {
+        let report = with_exec(Exec::sweep().with_jobs(1), || {
+            run_point(&quick(), 7, 2);
+            run_point(&quick(), 7, 2);
+            cache_report().expect("sweep mode has a cache")
+        });
+        assert_eq!(report.misses, 1);
+        assert_eq!(
+            report.hits_memory, 1,
+            "second identical point is a memory hit"
+        );
+        // Outside the scope, baseline mode has no cache.
+        assert_eq!(with_exec(Exec::baseline(), cache_report), None);
     }
 }

@@ -18,7 +18,7 @@
 //!   tests use: a single `.` or `[class]` atom with a `{lo,hi}` repeat.
 //!
 //! Supported surface: `proptest!`, `prop_assert!`, `prop_assert_eq!`,
-//! `prop_oneof!`, `Strategy` (`prop_map`, `prop_recursive`, `boxed`),
+//! `prop_assert_ne!`, `prop_oneof!`, `Strategy` (`prop_map`, `prop_recursive`, `boxed`),
 //! `Just`, `any`, range strategies, tuple strategies, `collection::vec`,
 //! `option::of`, `ProptestConfig::with_cases`.
 
@@ -560,6 +560,26 @@ macro_rules! prop_assert_eq {
     }};
 }
 
+/// Asserts inequality inside a `proptest!` test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {:?} == {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left != right, $($fmt)+);
+    }};
+}
+
 /// A uniform choice among several strategies of the same value type.
 #[macro_export]
 macro_rules! prop_oneof {
@@ -627,8 +647,8 @@ macro_rules! __proptest_impl {
 pub mod prelude {
     pub use crate as prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
-        ProptestConfig, Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError,
     };
 }
 

@@ -1,0 +1,876 @@
+//! Content-addressed result cache for experiment data points.
+//!
+//! A *point* is `(SimConfig, base seed, stop rule)`; its result is a
+//! [`MultiRun`]. Because the simulator is deterministic — replication
+//! `i` of base seed `b` always runs with `derive_seed(b, i)` — a point's
+//! result is a pure function of the point itself, so results can be
+//! memoized by content address:
+//!
+//! * **key** = a stable 128-bit hash of the point's *canonical text*
+//!   ([`canonical_point`]): every simulated parameter of the
+//!   configuration, the base seed, the stop rule (with the adaptive
+//!   bounds that shape it), and [`CACHE_SCHEMA_VERSION`];
+//! * **value** = the serialized [`MultiRun`], with every `f64` stored as
+//!   its exact bit pattern so a reloaded result is bit-identical to the
+//!   simulated one.
+//!
+//! [`PointCache`] layers an in-memory map (deduplicating repeated points
+//! within one process, e.g. the same baseline curve appearing in two
+//! figures) over an optional on-disk directory (making `repro`
+//! incremental across invocations). Each cache file also stores the full
+//! canonical preimage; a lookup whose stored preimage does not match is
+//! treated as a miss, so a (cosmically unlikely) hash collision or a
+//! truncated file degrades to recomputation, never to a wrong result.
+//!
+//! # Invalidation
+//!
+//! Keys change whenever any simulated parameter changes, and whenever
+//! [`CACHE_SCHEMA_VERSION`] is bumped. Bump the version when simulation
+//! semantics change (event ordering, RNG draws, metric definitions) even
+//! though the configuration type did not: stale entries then miss
+//! naturally and are recomputed. Nothing is ever deleted; a cache
+//! directory can be wiped at any time.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sda_core::{EstimationModel, PspStrategy, SspStrategy};
+use sda_simcore::stats::{
+    Estimate, Histogram, MissCounter, NodeStats, TimeWeighted, WeightedMiss, Welford,
+};
+use sda_simcore::SimTime;
+
+use crate::config::{AbortPolicy, GlobalShape, Placement, ResubmitPolicy, ServiceShape, SimConfig};
+use crate::metrics::Metrics;
+use crate::runner::{BatchEstimates, MultiRun, RunResult, StopRule};
+
+/// Version of both the canonical point text and the on-disk value
+/// format. Part of every key: bumping it invalidates all prior entries.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------
+// Canonical serialization and stable hashing
+// ---------------------------------------------------------------------
+
+/// Formats an `f64` exactly: Rust's `{:?}` prints the shortest decimal
+/// that round-trips, so distinct values produce distinct text.
+fn f(x: f64) -> String {
+    format!("{x:?}")
+}
+
+/// The canonical text of a configuration: one `name=value` line per
+/// simulated parameter, in fixed order. Two configurations serialize
+/// identically if and only if they compare equal — this is what gets
+/// hashed into the cache key.
+pub fn canonical_config(cfg: &SimConfig) -> String {
+    let mut out = String::with_capacity(512);
+    let mut line = |name: &str, value: String| {
+        out.push_str(name);
+        out.push('=');
+        out.push_str(&value);
+        out.push('\n');
+    };
+    line("nodes", cfg.nodes.to_string());
+    line("load", f(cfg.load));
+    line("frac_local", f(cfg.frac_local));
+    line("mu_local", f(cfg.mu_local));
+    line("mu_subtask", f(cfg.mu_subtask));
+    line(
+        "local_slack",
+        format!(
+            "uniform[{},{}]",
+            f(cfg.local_slack.lo()),
+            f(cfg.local_slack.hi())
+        ),
+    );
+    line(
+        "global_slack",
+        format!(
+            "uniform[{},{}]",
+            f(cfg.global_slack.lo()),
+            f(cfg.global_slack.hi())
+        ),
+    );
+    line(
+        "shape",
+        match &cfg.shape {
+            GlobalShape::ParallelFixed { n } => format!("parallel_fixed:{n}"),
+            GlobalShape::ParallelUniform { lo, hi } => format!("parallel_uniform:{lo}..{hi}"),
+            GlobalShape::Spec(spec) => format!("spec:{spec}"),
+        },
+    );
+    line(
+        "ssp",
+        match cfg.strategy.ssp {
+            SspStrategy::Ud => "ud".to_string(),
+            SspStrategy::Ed => "ed".to_string(),
+            SspStrategy::Eqs => "eqs".to_string(),
+            SspStrategy::Eqf => "eqf".to_string(),
+        },
+    );
+    line(
+        "psp",
+        match cfg.strategy.psp {
+            PspStrategy::Ud => "ud".to_string(),
+            PspStrategy::DivX { x } => format!("div:{}", f(x)),
+            PspStrategy::Gf { delta } => format!("gf:{}", f(delta)),
+        },
+    );
+    line("scheduler", cfg.scheduler.to_string());
+    line("preemptive", cfg.preemptive.to_string());
+    line(
+        "node_speeds",
+        cfg.node_speeds
+            .iter()
+            .map(|s| f(*s))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    line(
+        "service_shape",
+        match cfg.service_shape {
+            ServiceShape::Exponential => "exponential".to_string(),
+            ServiceShape::Deterministic => "deterministic".to_string(),
+            ServiceShape::UniformSpread => "uniform_spread".to_string(),
+        },
+    );
+    line(
+        "placement",
+        match cfg.placement {
+            Placement::RandomDistinct => "random_distinct".to_string(),
+            Placement::LeastLoaded => "least_loaded".to_string(),
+        },
+    );
+    line(
+        "burst",
+        match &cfg.burst {
+            None => "none".to_string(),
+            Some(b) => format!(
+                "period:{},on:{},boost:{}",
+                f(b.period),
+                f(b.on_fraction),
+                f(b.boost)
+            ),
+        },
+    );
+    line(
+        "abort",
+        match cfg.abort {
+            AbortPolicy::None => "none".to_string(),
+            AbortPolicy::ProcessManager => "process_manager".to_string(),
+            AbortPolicy::LocalScheduler { resubmit } => match resubmit {
+                ResubmitPolicy::Never => "local_scheduler:never".to_string(),
+                ResubmitPolicy::OnceWithRealDeadline => {
+                    "local_scheduler:once_real_deadline".to_string()
+                }
+            },
+        },
+    );
+    line(
+        "estimation",
+        match cfg.estimation {
+            EstimationModel::Exact => "exact".to_string(),
+            EstimationModel::UniformFactor { max_factor } => {
+                format!("uniform_factor:{}", f(max_factor))
+            }
+            EstimationModel::Bias { factor } => format!("bias:{}", f(factor)),
+            EstimationModel::ClassMean { mean } => format!("class_mean:{}", f(mean)),
+        },
+    );
+    line("duration", f(cfg.duration));
+    line("warmup", f(cfg.warmup));
+    out
+}
+
+/// The canonical text of a full data point: schema version, the
+/// configuration ([`canonical_config`]), the base seed, and the stop
+/// rule. For the adaptive rule the replication bounds are included too,
+/// because they shape the result; for fixed replication counts they are
+/// irrelevant and omitted.
+pub fn canonical_point(
+    cfg: &SimConfig,
+    seed: u64,
+    stop: &StopRule,
+    min_reps: usize,
+    max_reps: usize,
+) -> String {
+    let stop_text = match stop {
+        StopRule::FixedReps(n) => format!("fixed:{n}"),
+        StopRule::CiWidth(target) => {
+            format!("ci:target={},min={min_reps},max={max_reps}", f(*target))
+        }
+        StopRule::BatchMeans { batch_size } => format!("batch:size={batch_size}"),
+    };
+    format!(
+        "schema={CACHE_SCHEMA_VERSION}\n{}seed={seed}\nstop={stop_text}\n",
+        canonical_config(cfg)
+    )
+}
+
+/// 64-bit FNV-1a over `text` from the given offset basis.
+fn fnv1a(text: &str, offset: u64) -> u64 {
+    let mut hash = offset;
+    for byte in text.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The stable 128-bit content address of a canonical point text,
+/// rendered as 32 hex digits. Two independent FNV-1a passes (the
+/// standard offset basis and a salted one) make accidental collisions
+/// negligible; the stored preimage makes even a real collision safe
+/// (it reads back as a miss).
+///
+/// This hash is implemented here — not with `std`'s `DefaultHasher` —
+/// because the key must be stable across processes, platforms, and Rust
+/// releases; `DefaultHasher` guarantees none of those.
+pub fn point_key_of(canonical: &str) -> String {
+    let lo = fnv1a(canonical, 0xCBF2_9CE4_8422_2325);
+    let hi = fnv1a(canonical, 0x6C62_272E_07BB_0142);
+    format!("{hi:016x}{lo:016x}")
+}
+
+// ---------------------------------------------------------------------
+// MultiRun (de)serialization
+// ---------------------------------------------------------------------
+
+fn hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn push_welford(out: &mut String, name: &str, w: &Welford) {
+    let (count, mean, m2, min, max) = w.to_parts();
+    out.push_str(&format!(
+        "{name} {count} {} {} {} {}\n",
+        hex(mean),
+        hex(m2),
+        hex(min),
+        hex(max)
+    ));
+}
+
+fn push_hist(out: &mut String, name: &str, h: &Histogram) {
+    let (bin_width, bins, overflow, count) = h.to_parts();
+    out.push_str(&format!("{name} {} {overflow} {count}", hex(bin_width)));
+    for b in bins {
+        out.push_str(&format!(" {b}"));
+    }
+    out.push('\n');
+}
+
+/// Serializes a [`MultiRun`] (with its canonical preimage) into the
+/// cache file text. Every float is stored as its exact bit pattern.
+pub fn serialize_multi_run(preimage: &str, multi: &MultiRun) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!(
+        "sda-point-cache {CACHE_SCHEMA_VERSION}\npreimage {}\n",
+        preimage.lines().count()
+    ));
+    out.push_str(preimage);
+    out.push_str("payload\n");
+    match multi.batch_means() {
+        None => out.push_str("batch none\n"),
+        Some(b) => out.push_str(&format!(
+            "batch {} {} {} {} {} {}\n",
+            hex(b.md_local.mean),
+            hex(b.md_local.half_width),
+            hex(b.md_global.mean),
+            hex(b.md_global.half_width),
+            b.batches.0,
+            b.batches.1
+        )),
+    }
+    out.push_str(&format!("runs {}\n", multi.runs().len()));
+    for run in multi.runs() {
+        let m = &run.metrics;
+        out.push_str(&format!(
+            "run {} {} {} {}\n",
+            run.seed,
+            run.events,
+            hex(run.duration),
+            hex(run.wall_secs)
+        ));
+        out.push_str(&format!(
+            "local_md {} {}\n",
+            m.local_md.missed(),
+            m.local_md.total()
+        ));
+        out.push_str(&format!(
+            "subtask_md {} {}\n",
+            m.subtask_md.missed(),
+            m.subtask_md.total()
+        ));
+        out.push_str(&format!("global_md {}", m.global_md.len()));
+        for (n, counter) in &m.global_md {
+            out.push_str(&format!(" {n} {} {}", counter.missed(), counter.total()));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "missed_work {} {}\n",
+            hex(m.missed_work.missed_amount()),
+            hex(m.missed_work.total())
+        ));
+        push_welford(&mut out, "local_response", &m.local_response);
+        push_welford(&mut out, "global_response", &m.global_response);
+        push_welford(&mut out, "local_tardiness", &m.local_tardiness);
+        push_welford(&mut out, "global_tardiness", &m.global_tardiness);
+        push_hist(&mut out, "local_hist", &m.local_response_hist);
+        push_hist(&mut out, "global_hist", &m.global_response_hist);
+        out.push_str(&format!(
+            "counters {} {} {} {} {}\n",
+            m.aborted_locals,
+            m.aborted_globals,
+            m.local_scheduler_aborts,
+            m.resubmissions,
+            m.preemptions
+        ));
+        out.push_str(&format!("nodes {}\n", run.node_stats.len()));
+        for node in &run.node_stats {
+            let local = node.local_counter();
+            let (area, last_time, last_value, start) = node.queue_stats().to_parts();
+            out.push_str(&format!(
+                "node {} {} {} {} {} {} {} {}\n",
+                hex(node.busy()),
+                node.served(),
+                local.missed(),
+                local.total(),
+                hex(area),
+                hex(last_time.value()),
+                hex(last_value),
+                hex(start.value())
+            ));
+        }
+    }
+    out
+}
+
+/// A token-stream reader over the cache file text; every accessor
+/// returns `None` on any mismatch, so malformed input parses to a miss.
+struct Reader<'a> {
+    lines: std::str::Lines<'a>,
+}
+
+impl<'a> Reader<'a> {
+    fn tagged(&mut self, tag: &str) -> Option<Vec<&'a str>> {
+        let line = self.lines.next()?;
+        let mut tokens = line.split_ascii_whitespace();
+        if tokens.next()? != tag {
+            return None;
+        }
+        Some(tokens.collect())
+    }
+}
+
+fn parse_u64(t: &str) -> Option<u64> {
+    t.parse().ok()
+}
+
+fn parse_f64(t: &str) -> Option<f64> {
+    u64::from_str_radix(t, 16).ok().map(f64::from_bits)
+}
+
+fn parse_welford(tokens: &[&str]) -> Option<Welford> {
+    if tokens.len() != 5 {
+        return None;
+    }
+    Some(Welford::from_parts(
+        parse_u64(tokens[0])?,
+        parse_f64(tokens[1])?,
+        parse_f64(tokens[2])?,
+        parse_f64(tokens[3])?,
+        parse_f64(tokens[4])?,
+    ))
+}
+
+fn parse_hist(tokens: &[&str]) -> Option<Histogram> {
+    if tokens.len() < 3 {
+        return None;
+    }
+    let bin_width = parse_f64(tokens[0])?;
+    let overflow = parse_u64(tokens[1])?;
+    let count = parse_u64(tokens[2])?;
+    let bins = tokens[3..]
+        .iter()
+        .map(|t| parse_u64(t))
+        .collect::<Option<Vec<u64>>>()?;
+    if bins.iter().sum::<u64>() + overflow != count {
+        return None;
+    }
+    Some(Histogram::from_parts(bin_width, bins, overflow, count))
+}
+
+fn parse_miss(missed: &str, total: &str) -> Option<MissCounter> {
+    let (missed, total) = (parse_u64(missed)?, parse_u64(total)?);
+    if missed > total {
+        return None;
+    }
+    Some(MissCounter::from_parts(missed, total))
+}
+
+/// Parses one serialized run (everything after its `run` header line).
+fn parse_run(reader: &mut Reader<'_>, header: &[&str]) -> Option<RunResult> {
+    if header.len() != 4 {
+        return None;
+    }
+    let seed = parse_u64(header[0])?;
+    let events = parse_u64(header[1])?;
+    let duration = parse_f64(header[2])?;
+    let wall_secs = parse_f64(header[3])?;
+
+    let mut metrics = Metrics::new();
+    let t = reader.tagged("local_md")?;
+    metrics.local_md = parse_miss(t.first()?, t.get(1)?)?;
+    let t = reader.tagged("subtask_md")?;
+    metrics.subtask_md = parse_miss(t.first()?, t.get(1)?)?;
+    let t = reader.tagged("global_md")?;
+    let classes = parse_u64(t.first()?)? as usize;
+    if t.len() != 1 + 3 * classes {
+        return None;
+    }
+    for c in 0..classes {
+        let n: u32 = t[1 + 3 * c].parse().ok()?;
+        metrics
+            .global_md
+            .insert(n, parse_miss(t[2 + 3 * c], t[3 + 3 * c])?);
+    }
+    let t = reader.tagged("missed_work")?;
+    metrics.missed_work = WeightedMiss::from_parts(parse_f64(t.first()?)?, parse_f64(t.get(1)?)?);
+    metrics.local_response = parse_welford(&reader.tagged("local_response")?)?;
+    metrics.global_response = parse_welford(&reader.tagged("global_response")?)?;
+    metrics.local_tardiness = parse_welford(&reader.tagged("local_tardiness")?)?;
+    metrics.global_tardiness = parse_welford(&reader.tagged("global_tardiness")?)?;
+    metrics.local_response_hist = parse_hist(&reader.tagged("local_hist")?)?;
+    metrics.global_response_hist = parse_hist(&reader.tagged("global_hist")?)?;
+    let t = reader.tagged("counters")?;
+    if t.len() != 5 {
+        return None;
+    }
+    metrics.aborted_locals = parse_u64(t[0])?;
+    metrics.aborted_globals = parse_u64(t[1])?;
+    metrics.local_scheduler_aborts = parse_u64(t[2])?;
+    metrics.resubmissions = parse_u64(t[3])?;
+    metrics.preemptions = parse_u64(t[4])?;
+
+    let t = reader.tagged("nodes")?;
+    let node_count = parse_u64(t.first()?)? as usize;
+    let mut node_stats = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        let t = reader.tagged("node")?;
+        if t.len() != 8 {
+            return None;
+        }
+        let queue = TimeWeighted::from_parts(
+            parse_f64(t[4])?,
+            SimTime::from(parse_f64(t[5])?),
+            parse_f64(t[6])?,
+            SimTime::from(parse_f64(t[7])?),
+        );
+        node_stats.push(NodeStats::from_parts(
+            parse_f64(t[0])?,
+            parse_u64(t[1])?,
+            parse_miss(t[2], t[3])?,
+            queue,
+        ));
+    }
+    // `busy` and `mean_queue_len` are derived from the node accumulators
+    // exactly as the runner derives them after a live run, so a cache
+    // hit reproduces them bit-for-bit.
+    let busy = node_stats.iter().map(NodeStats::busy).collect();
+    let mean_queue_len = node_stats
+        .iter()
+        .map(|s| s.mean_queue_len(SimTime::from(duration)))
+        .collect();
+    Some(RunResult {
+        metrics,
+        events,
+        busy,
+        mean_queue_len,
+        node_stats,
+        duration,
+        seed,
+        wall_secs,
+    })
+}
+
+/// Parses a cache file back into a [`MultiRun`], verifying that the
+/// stored preimage matches `expected_preimage` exactly. Returns `None` —
+/// a cache miss — on any format mismatch, version skew, or preimage
+/// disagreement (hash collision or corruption).
+pub fn parse_multi_run(text: &str, expected_preimage: &str) -> Option<MultiRun> {
+    let mut reader = Reader {
+        lines: text.lines(),
+    };
+    let t = reader.tagged("sda-point-cache")?;
+    if t != [CACHE_SCHEMA_VERSION.to_string().as_str()] {
+        return None;
+    }
+    let t = reader.tagged("preimage")?;
+    let preimage_lines = parse_u64(t.first()?)? as usize;
+    for expected in expected_preimage.lines() {
+        if preimage_lines == 0 || reader.lines.next()? != expected {
+            return None;
+        }
+    }
+    if expected_preimage.lines().count() != preimage_lines {
+        return None;
+    }
+    if reader.tagged("payload")?.is_empty() {
+        let batch_tokens = reader.tagged("batch")?;
+        let batch = match batch_tokens.as_slice() {
+            ["none"] => None,
+            [a, b, c, d, e, g] => Some(BatchEstimates {
+                md_local: Estimate {
+                    mean: parse_f64(a)?,
+                    half_width: parse_f64(b)?,
+                },
+                md_global: Estimate {
+                    mean: parse_f64(c)?,
+                    half_width: parse_f64(d)?,
+                },
+                batches: (parse_u64(e)? as usize, parse_u64(g)? as usize),
+            }),
+            _ => return None,
+        };
+        let t = reader.tagged("runs")?;
+        let count = parse_u64(t.first()?)? as usize;
+        if count == 0 {
+            return None;
+        }
+        let mut runs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let header = reader.tagged("run")?;
+            runs.push(parse_run(&mut reader, &header)?);
+        }
+        Some(MultiRun::from_parts(runs, batch))
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// The cache proper
+// ---------------------------------------------------------------------
+
+/// Hit/miss accounting of a [`PointCache`], as reported by `repro` and
+/// asserted by the CI cache-smoke job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheReport {
+    /// Points resolved from the in-memory map (including points
+    /// deduplicated within a single sweep).
+    pub hits_memory: u64,
+    /// Points resolved from the on-disk store.
+    pub hits_disk: u64,
+    /// Points that had to be simulated.
+    pub misses: u64,
+}
+
+impl CacheReport {
+    /// Total points resolved without simulation.
+    pub fn hits(&self) -> u64 {
+        self.hits_memory + self.hits_disk
+    }
+
+    /// Total points that went through the cache.
+    pub fn points(&self) -> u64 {
+        self.hits() + self.misses
+    }
+
+    /// Fraction of points resolved without simulation (1.0 when no
+    /// points were looked up).
+    pub fn hit_rate(&self) -> f64 {
+        if self.points() == 0 {
+            1.0
+        } else {
+            self.hits() as f64 / self.points() as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cache: {}/{} points hit ({:.1}% — memory {}, disk {}), {} simulated",
+            self.hits(),
+            self.points(),
+            100.0 * self.hit_rate(),
+            self.hits_memory,
+            self.hits_disk,
+            self.misses
+        )
+    }
+}
+
+/// A memoization layer for sweep points: an in-memory map, optionally
+/// backed by an on-disk content-addressed store.
+///
+/// Thread-safe; share one handle (via [`std::sync::Arc`]) across sweeps
+/// to deduplicate identical points campaign-wide.
+#[derive(Debug)]
+pub struct PointCache {
+    dir: Option<PathBuf>,
+    /// key → (preimage, result); the preimage is kept so even a memory
+    /// hit verifies the full canonical text, not just its hash.
+    memory: Mutex<HashMap<String, (String, MultiRun)>>,
+    hits_memory: AtomicU64,
+    hits_disk: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PointCache {
+    /// An in-memory cache: deduplicates within the process, persists
+    /// nothing.
+    pub fn in_memory() -> PointCache {
+        PointCache {
+            dir: None,
+            memory: Mutex::new(HashMap::new()),
+            hits_memory: AtomicU64::new(0),
+            hits_disk: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache persisted under `dir` (created if absent), with the same
+    /// in-memory layer in front.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from creating the directory.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> std::io::Result<PointCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(PointCache {
+            dir: Some(dir),
+            ..PointCache::in_memory()
+        })
+    }
+
+    /// The on-disk directory, if this cache persists.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    fn file_of(&self, key: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{key}.sdacache")))
+    }
+
+    /// Looks up a point, counting a memory hit, a disk hit, or a miss.
+    /// A disk hit is promoted into the memory layer.
+    pub fn lookup(&self, key: &str, preimage: &str) -> Option<MultiRun> {
+        if let Some((stored, found)) = self.memory.lock().expect("cache map").get(key) {
+            if stored == preimage {
+                self.hits_memory.fetch_add(1, Ordering::Relaxed);
+                return Some(found.clone());
+            }
+        }
+        if let Some(path) = self.file_of(key) {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if let Some(multi) = parse_multi_run(&text, preimage) {
+                    self.hits_disk.fetch_add(1, Ordering::Relaxed);
+                    self.memory
+                        .lock()
+                        .expect("cache map")
+                        .insert(key.to_string(), (preimage.to_string(), multi.clone()));
+                    return Some(multi);
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Counts a point resolved by sharing another identical point's
+    /// result within one sweep (a memory-level hit that never reached
+    /// [`PointCache::lookup`]).
+    pub fn record_shared_hit(&self) {
+        self.hits_memory.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stores a computed result under `key`, in memory and (when
+    /// persistent) on disk via an atomic write-then-rename. Disk errors
+    /// are swallowed: a cache that cannot write degrades to recomputing.
+    pub fn store(&self, key: &str, preimage: &str, multi: &MultiRun) {
+        self.memory
+            .lock()
+            .expect("cache map")
+            .insert(key.to_string(), (preimage.to_string(), multi.clone()));
+        if let Some(path) = self.file_of(key) {
+            let text = serialize_multi_run(preimage, multi);
+            let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+            let written = std::fs::File::create(&tmp)
+                .and_then(|mut file| file.write_all(text.as_bytes()))
+                .and_then(|()| std::fs::rename(&tmp, &path));
+            if written.is_err() {
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    /// The hit/miss accounting so far.
+    pub fn report(&self) -> CacheReport {
+        CacheReport {
+            hits_memory: self.hits_memory.load(Ordering::Relaxed),
+            hits_disk: self.hits_disk.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            duration: 2_000.0,
+            warmup: 100.0,
+            ..SimConfig::baseline()
+        }
+    }
+
+    #[test]
+    fn canonical_text_is_stable_and_injective() {
+        let a = canonical_point(&quick_cfg(), 7, &StopRule::FixedReps(2), 2, 64);
+        let b = canonical_point(&quick_cfg(), 7, &StopRule::FixedReps(2), 2, 64);
+        assert_eq!(a, b);
+        let other = canonical_point(
+            &quick_cfg().with_load(0.6),
+            7,
+            &StopRule::FixedReps(2),
+            2,
+            64,
+        );
+        assert_ne!(a, other);
+        let other_seed = canonical_point(&quick_cfg(), 8, &StopRule::FixedReps(2), 2, 64);
+        assert_ne!(a, other_seed);
+    }
+
+    #[test]
+    fn fixed_reps_key_ignores_adaptive_bounds() {
+        let a = canonical_point(&quick_cfg(), 7, &StopRule::FixedReps(2), 2, 64);
+        let b = canonical_point(&quick_cfg(), 7, &StopRule::FixedReps(2), 4, 8);
+        assert_eq!(a, b, "min/max reps do not shape a fixed-count point");
+        let ca = canonical_point(&quick_cfg(), 7, &StopRule::CiWidth(0.1), 2, 64);
+        let cb = canonical_point(&quick_cfg(), 7, &StopRule::CiWidth(0.1), 2, 8);
+        assert_ne!(ca, cb, "adaptive bounds do shape a CI-width point");
+    }
+
+    #[test]
+    fn known_key_pins_cross_process_stability() {
+        // The exact key of the quick baseline point. If this assertion
+        // ever fails, the canonical format changed — bump
+        // CACHE_SCHEMA_VERSION so old caches are invalidated rather than
+        // silently missed or (worse) wrongly hit.
+        let key = point_key_of(&canonical_point(
+            &quick_cfg(),
+            42,
+            &StopRule::FixedReps(2),
+            2,
+            64,
+        ));
+        assert_eq!(key, "68a78c88958ee21f68d7bd9e0d19df5a");
+    }
+
+    #[test]
+    fn multi_run_round_trips_bit_identically() {
+        let multi = crate::Runner::new(quick_cfg())
+            .seed(11)
+            .jobs(1)
+            .stop(StopRule::FixedReps(2))
+            .execute()
+            .unwrap();
+        let preimage = canonical_point(&quick_cfg(), 11, &StopRule::FixedReps(2), 2, 64);
+        let text = serialize_multi_run(&preimage, &multi);
+        let back = parse_multi_run(&text, &preimage).expect("round-trip parses");
+        assert_eq!(back.stats().to_json(), multi.stats().to_json());
+        for (a, b) in multi.runs().iter().zip(back.runs()) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.wall_secs.to_bits(), b.wall_secs.to_bits());
+            assert_eq!(
+                a.metrics.md_global().to_bits(),
+                b.metrics.md_global().to_bits()
+            );
+            assert_eq!(
+                a.metrics.local_response_quantile(0.99).to_bits(),
+                b.metrics.local_response_quantile(0.99).to_bits()
+            );
+            for (x, y) in a.mean_queue_len.iter().zip(&b.mean_queue_len) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert!(
+            parse_multi_run(&text, "tampered").is_none(),
+            "preimage mismatch must read as a miss"
+        );
+    }
+
+    #[test]
+    fn batch_means_round_trips() {
+        let multi = crate::Runner::new(quick_cfg())
+            .seed(3)
+            .stop(StopRule::BatchMeans { batch_size: 64 })
+            .execute()
+            .unwrap();
+        let preimage = canonical_point(
+            &quick_cfg(),
+            3,
+            &StopRule::BatchMeans { batch_size: 64 },
+            2,
+            64,
+        );
+        let text = serialize_multi_run(&preimage, &multi);
+        let back = parse_multi_run(&text, &preimage).expect("parses");
+        let (a, b) = (
+            multi.batch_means().expect("batch estimates"),
+            back.batch_means().expect("batch estimates"),
+        );
+        assert_eq!(a.md_local.mean.to_bits(), b.md_local.mean.to_bits());
+        assert_eq!(
+            a.md_global.half_width.to_bits(),
+            b.md_global.half_width.to_bits()
+        );
+        assert_eq!(a.batches, b.batches);
+    }
+
+    #[test]
+    fn disk_cache_round_trips_and_counts() {
+        let dir = std::env::temp_dir().join(format!("sda-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = quick_cfg();
+        let preimage = canonical_point(&cfg, 5, &StopRule::FixedReps(2), 2, 64);
+        let key = point_key_of(&preimage);
+        {
+            let cache = PointCache::with_dir(&dir).unwrap();
+            assert!(cache.lookup(&key, &preimage).is_none());
+            let multi = crate::Runner::new(cfg.clone())
+                .seed(5)
+                .stop(StopRule::FixedReps(2))
+                .execute()
+                .unwrap();
+            cache.store(&key, &preimage, &multi);
+            assert!(cache.lookup(&key, &preimage).is_some(), "memory hit");
+            assert_eq!(
+                cache.report(),
+                CacheReport {
+                    hits_memory: 1,
+                    hits_disk: 0,
+                    misses: 1
+                }
+            );
+        }
+        // A fresh handle over the same directory: a disk hit.
+        let cache = PointCache::with_dir(&dir).unwrap();
+        let found = cache.lookup(&key, &preimage).expect("disk hit");
+        assert_eq!(found.runs().len(), 2);
+        assert_eq!(cache.report().hits_disk, 1);
+        // A different preimage under the same key must miss.
+        assert!(cache.lookup(&key, "other-point").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

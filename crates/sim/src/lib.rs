@@ -18,6 +18,8 @@
 //! | [`Simulation`] | the orchestration tying the layers together over the engine |
 //! | [`trace`] | the structured [`trace::TraceSink`] observability pipeline |
 //! | [`runner`] | replications, parallel execution, adaptive stopping, stats |
+//! | [`cache`] | content-addressed memoization of completed data points |
+//! | [`sweep`] | campaign-level work-stealing scheduler over many points |
 //!
 //! ```
 //! use sda_core::SdaStrategy;
@@ -38,15 +40,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 mod config;
 mod metrics;
 mod node;
 mod pm;
 pub mod runner;
 mod simulation;
+pub mod sweep;
 pub mod trace;
 mod workload;
 
+pub use cache::{CacheReport, PointCache, CACHE_SCHEMA_VERSION};
 pub use config::{
     AbortPolicy, Burst, ConfigError, GlobalShape, Placement, ResubmitPolicy, ServiceShape,
     SimConfig,
@@ -56,6 +61,7 @@ pub use runner::{
     seeds, BatchEstimates, MultiRun, NodeSummary, RunResult, Runner, StatsReport, StopRule,
 };
 pub use simulation::{Ev, Simulation};
+pub use sweep::{Sweep, SweepPoint};
 pub use trace::{
     parse_jsonl, CountingHandle, CountingSink, FanoutSink, JsonlSink, NoopSink, RingBufferHandle,
     RingBufferSink, SharedSink, TraceCounts, TraceEvent, TraceRecord, TraceSink,

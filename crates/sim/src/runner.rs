@@ -117,9 +117,9 @@ pub enum StopRule {
 }
 
 /// Default replication floor for adaptive stopping (a CI needs ≥ 2).
-const DEFAULT_MIN_REPS: usize = 2;
+pub(crate) const DEFAULT_MIN_REPS: usize = 2;
 /// Default hard cap on adaptive replications.
-const DEFAULT_MAX_REPS: usize = 64;
+pub(crate) const DEFAULT_MAX_REPS: usize = 64;
 
 /// Builds and executes a set of simulation replications.
 ///
@@ -353,8 +353,10 @@ fn ci_converged(runs: &[RunResult], target: f64) -> bool {
 }
 
 /// Runs one simulation to its configured duration, optionally feeding a
-/// trace sink (flushed at the end of the run).
-fn run_single(
+/// trace sink (flushed at the end of the run). Shared with the sweep
+/// engine, which schedules these same per-replication units across its
+/// own worker pool.
+pub(crate) fn run_single(
     cfg: &SimConfig,
     seed: u64,
     trace: Option<SharedSink>,
@@ -499,6 +501,16 @@ pub struct MultiRun {
 }
 
 impl MultiRun {
+    /// Assembles a run set from its parts: `runs` must be in replication
+    /// order (replication `i` seeded with [`derive_seed`]`(base, i)`) for
+    /// the determinism contract to hold. Used by the sweep engine to
+    /// recombine replications it scheduled itself, and by the result
+    /// cache to reconstruct a deserialized run set.
+    pub fn from_parts(runs: Vec<RunResult>, batch: Option<BatchEstimates>) -> MultiRun {
+        assert!(!runs.is_empty(), "a run set needs at least one run");
+        MultiRun { runs, batch }
+    }
+
     /// The individual runs.
     pub fn runs(&self) -> &[RunResult] {
         &self.runs

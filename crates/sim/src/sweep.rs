@@ -1,0 +1,402 @@
+//! Campaign-level scheduling of many data points over one worker pool.
+//!
+//! A paper reproduction is a *campaign*: dozens of points (configuration
+//! × base seed × stop rule), each several replications. Running points
+//! one [`Runner`] at a time puts a thread barrier between points — the
+//! tail of a slow point idles every other core. [`Sweep`] removes the
+//! barrier: it flattens all points into per-replication work units and
+//! schedules the units across a single work-stealing pool, so workers
+//! drain the whole campaign without ever waiting at a point boundary.
+//!
+//! # Determinism
+//!
+//! Replication `i` of a point with base seed `b` always simulates with
+//! `derive_seed(b, i)` regardless of which worker runs it or when, and
+//! results are reassembled per point by replication index. Every
+//! [`MultiRun`] this module returns is therefore **bit-identical** to
+//! what a sequential [`Runner`] produces — at any `jobs` level, pinned
+//! by the `sweep` integration test.
+//!
+//! # Deduplication and caching
+//!
+//! Identical points (same configuration, seed, and stop rule) are
+//! detected by their canonical content address ([`crate::cache`]) and
+//! simulated once per sweep; duplicates share the result. With a
+//! [`PointCache`] attached, completed points are also memoized across
+//! sweeps — and, when the cache is disk-backed, across processes —
+//! making repeated reproductions incremental.
+//!
+//! # Limits
+//!
+//! Adaptive points ([`StopRule::CiWidth`], [`StopRule::BatchMeans`])
+//! run as one sequential unit each (their replication schedule is
+//! data-dependent), and tracing is not supported here — attach a sink
+//! to a single-point [`Runner`] instead.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use sda_simcore::rng::derive_seed;
+
+use crate::cache::{canonical_point, point_key_of, PointCache};
+use crate::config::{ConfigError, SimConfig};
+use crate::runner::{run_single, MultiRun, Runner, StopRule, DEFAULT_MAX_REPS, DEFAULT_MIN_REPS};
+
+/// One data point of a sweep: a configuration, the base seed its
+/// replication seeds derive from, and the stopping rule.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The configuration to simulate.
+    pub cfg: SimConfig,
+    /// Base seed; replication `i` runs with `derive_seed(seed, i)`.
+    pub seed: u64,
+    /// When to stop adding replications.
+    pub stop: StopRule,
+}
+
+impl SweepPoint {
+    /// A point with the paper's default of two fixed replications.
+    pub fn new(cfg: SimConfig, seed: u64) -> SweepPoint {
+        SweepPoint {
+            cfg,
+            seed,
+            stop: StopRule::FixedReps(2),
+        }
+    }
+
+    /// Sets the stopping rule.
+    pub fn stop(mut self, stop: StopRule) -> SweepPoint {
+        self.stop = stop;
+        self
+    }
+}
+
+/// How a point gets its result.
+enum Plan {
+    /// Resolved from the cache before any simulation.
+    Cached(MultiRun),
+    /// Computed by the task at this index.
+    Compute(usize),
+    /// Shares the result of the task at this index (duplicate point).
+    Shared(usize),
+}
+
+/// One planned simulation task (a deduplicated point that missed the
+/// cache).
+struct Task {
+    cfg: SimConfig,
+    seed: u64,
+    stop: StopRule,
+    /// Content address, for storing the result back into the cache.
+    address: (String, String),
+    /// Number of work units this task was split into.
+    units: usize,
+}
+
+/// One schedulable unit of work.
+enum Unit {
+    /// A single fixed replication of a task.
+    Rep { task: usize, rep: usize, seed: u64 },
+    /// A whole adaptive point, run sequentially as one unit.
+    Whole { task: usize },
+}
+
+/// The result of one executed unit. The per-replication result is boxed
+/// so the two variants are close in size (a `RunResult` carries the full
+/// per-node statistics block).
+enum Outcome {
+    Rep {
+        task: usize,
+        rep: usize,
+        result: Box<crate::runner::RunResult>,
+    },
+    Whole {
+        task: usize,
+        multi: MultiRun,
+    },
+}
+
+/// Builds and executes a campaign of points over one work-stealing
+/// worker pool. See the [module docs](self).
+#[derive(Debug)]
+pub struct Sweep {
+    points: Vec<SweepPoint>,
+    jobs: usize,
+    cache: Option<Arc<PointCache>>,
+    min_reps: usize,
+    max_reps: usize,
+}
+
+impl Default for Sweep {
+    fn default() -> Sweep {
+        Sweep::new()
+    }
+}
+
+impl Sweep {
+    /// An empty sweep with automatic parallelism and no cache.
+    pub fn new() -> Sweep {
+        Sweep {
+            points: Vec::new(),
+            jobs: 0,
+            cache: None,
+            min_reps: DEFAULT_MIN_REPS,
+            max_reps: DEFAULT_MAX_REPS,
+        }
+    }
+
+    /// Adds one point.
+    pub fn point(mut self, point: SweepPoint) -> Sweep {
+        self.points.push(point);
+        self
+    }
+
+    /// Adds many points.
+    pub fn points(mut self, points: impl IntoIterator<Item = SweepPoint>) -> Sweep {
+        self.points.extend(points);
+        self
+    }
+
+    /// Sets the number of worker threads; `0` (the default) uses the
+    /// machine's available parallelism. Affects wall-clock time only,
+    /// never results.
+    pub fn jobs(mut self, jobs: usize) -> Sweep {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Attaches a result cache; completed points are stored into it and
+    /// future lookups (in this sweep or later ones) replay them.
+    pub fn cache(mut self, cache: Arc<PointCache>) -> Sweep {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Sets the replication floor for [`StopRule::CiWidth`] points
+    /// (default 2; part of those points' cache key).
+    pub fn min_reps(mut self, n: usize) -> Sweep {
+        self.min_reps = n.max(2);
+        self
+    }
+
+    /// Sets the hard replication cap for [`StopRule::CiWidth`] points
+    /// (default 64; part of those points' cache key).
+    pub fn max_reps(mut self, n: usize) -> Sweep {
+        self.max_reps = n.max(1);
+        self
+    }
+
+    /// Worker-thread count for a given unit count.
+    fn effective_jobs(&self, units: usize) -> usize {
+        let jobs = if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        jobs.min(units).max(1)
+    }
+
+    /// Executes every point and returns their results in point order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first configuration validation error before starting
+    /// any simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a point asks for zero replications
+    /// ([`StopRule::FixedReps`]`(0)`) or if a worker thread panics.
+    pub fn execute(&self) -> Result<Vec<MultiRun>, ConfigError> {
+        for point in &self.points {
+            point.cfg.validate()?;
+        }
+
+        // Resolve each point: cache hit, duplicate of an earlier point,
+        // or a fresh task to simulate. Deduplication keys on the same
+        // canonical content address the cache uses.
+        let mut plans = Vec::with_capacity(self.points.len());
+        let mut tasks: Vec<Task> = Vec::new();
+        let mut planned: HashMap<String, usize> = HashMap::new();
+        for point in &self.points {
+            let preimage = canonical_point(
+                &point.cfg,
+                point.seed,
+                &point.stop,
+                self.min_reps,
+                self.max_reps,
+            );
+            let key = point_key_of(&preimage);
+            if let Some(&task) = planned.get(&key) {
+                if let Some(cache) = &self.cache {
+                    cache.record_shared_hit();
+                }
+                plans.push(Plan::Shared(task));
+                continue;
+            }
+            if let Some(cache) = &self.cache {
+                if let Some(found) = cache.lookup(&key, &preimage) {
+                    plans.push(Plan::Cached(found));
+                    continue;
+                }
+            }
+            let units = match point.stop {
+                StopRule::FixedReps(n) => {
+                    assert!(n > 0, "need at least one replication");
+                    n
+                }
+                StopRule::CiWidth(_) | StopRule::BatchMeans { .. } => 1,
+            };
+            planned.insert(key.clone(), tasks.len());
+            plans.push(Plan::Compute(tasks.len()));
+            tasks.push(Task {
+                cfg: point.cfg.clone(),
+                seed: point.seed,
+                stop: point.stop,
+                address: (key, preimage),
+                units,
+            });
+        }
+
+        // Flatten tasks into units. Unit order is the submission order;
+        // it affects only which worker runs what, never the results.
+        let mut units = Vec::new();
+        for (index, task) in tasks.iter().enumerate() {
+            match task.stop {
+                StopRule::FixedReps(n) => {
+                    for rep in 0..n {
+                        units.push(Unit::Rep {
+                            task: index,
+                            rep,
+                            seed: derive_seed(task.seed, rep as u64),
+                        });
+                    }
+                }
+                StopRule::CiWidth(_) | StopRule::BatchMeans { .. } => {
+                    units.push(Unit::Whole { task: index });
+                }
+            }
+        }
+
+        let outcomes = self.run_units(&tasks, units);
+
+        // Reassemble per task by replication index.
+        let mut slots: Vec<Vec<Option<crate::runner::RunResult>>> =
+            tasks.iter().map(|t| vec![None; t.units]).collect();
+        let mut wholes: Vec<Option<MultiRun>> = tasks.iter().map(|_| None).collect();
+        for outcome in outcomes {
+            match outcome {
+                Outcome::Rep { task, rep, result } => slots[task][rep] = Some(*result),
+                Outcome::Whole { task, multi } => wholes[task] = Some(multi),
+            }
+        }
+        let mut computed = Vec::with_capacity(tasks.len());
+        for (index, task) in tasks.iter().enumerate() {
+            let multi = match task.stop {
+                StopRule::FixedReps(_) => {
+                    let runs = slots[index]
+                        .drain(..)
+                        .map(|slot| slot.expect("every replication ran"))
+                        .collect();
+                    MultiRun::from_parts(runs, None)
+                }
+                StopRule::CiWidth(_) | StopRule::BatchMeans { .. } => {
+                    wholes[index].take().expect("adaptive point ran")
+                }
+            };
+            if let Some(cache) = &self.cache {
+                cache.store(&task.address.0, &task.address.1, &multi);
+            }
+            computed.push(multi);
+        }
+
+        // Hand results back in point order.
+        Ok(plans
+            .into_iter()
+            .map(|plan| match plan {
+                Plan::Cached(multi) => multi,
+                Plan::Compute(task) | Plan::Shared(task) => computed[task].clone(),
+            })
+            .collect())
+    }
+
+    /// Runs all units — inline when one worker suffices, otherwise on a
+    /// work-stealing pool — and returns their outcomes in any order.
+    fn run_units(&self, tasks: &[Task], units: Vec<Unit>) -> Vec<Outcome> {
+        let jobs = self.effective_jobs(units.len());
+        if jobs <= 1 {
+            return units
+                .iter()
+                .map(|unit| run_unit(tasks, unit, self))
+                .collect();
+        }
+
+        // One deque per worker, units dealt round-robin. A worker pops
+        // from the front of its own deque and steals from the back of
+        // others'; since no unit ever enqueues more work, a full empty
+        // scan means the campaign is drained and the worker can exit.
+        let total = units.len();
+        let queues: Vec<Mutex<VecDeque<Unit>>> =
+            (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (index, unit) in units.into_iter().enumerate() {
+            queues[index % jobs]
+                .lock()
+                .expect("sweep queue")
+                .push_back(unit);
+        }
+        let outcomes = Mutex::new(Vec::with_capacity(total));
+        let queues = &queues;
+        let outcomes_ref = &outcomes;
+        std::thread::scope(|scope| {
+            for me in 0..jobs {
+                scope.spawn(move || loop {
+                    let unit = {
+                        let own = queues[me].lock().expect("sweep queue").pop_front();
+                        match own {
+                            Some(unit) => Some(unit),
+                            None => (1..jobs).find_map(|step| {
+                                queues[(me + step) % jobs]
+                                    .lock()
+                                    .expect("sweep queue")
+                                    .pop_back()
+                            }),
+                        }
+                    };
+                    let Some(unit) = unit else { break };
+                    let outcome = run_unit(tasks, &unit, self);
+                    outcomes_ref.lock().expect("sweep outcomes").push(outcome);
+                });
+            }
+        });
+        outcomes.into_inner().expect("sweep outcomes")
+    }
+}
+
+/// Executes one unit. Configurations were validated up front, so
+/// simulation cannot fail here.
+fn run_unit(tasks: &[Task], unit: &Unit, sweep: &Sweep) -> Outcome {
+    match *unit {
+        Unit::Rep { task, rep, seed } => Outcome::Rep {
+            task,
+            rep,
+            result: Box::new(run_single(&tasks[task].cfg, seed, None).expect("config validated")),
+        },
+        Unit::Whole { task } => {
+            let spec = &tasks[task];
+            // jobs(1): this worker IS the parallelism; nesting another
+            // pool inside a pool would oversubscribe the machine.
+            let multi = Runner::new(spec.cfg.clone())
+                .seed(spec.seed)
+                .jobs(1)
+                .stop(spec.stop)
+                .min_reps(sweep.min_reps)
+                .max_reps(sweep.max_reps)
+                .execute()
+                .expect("config validated");
+            Outcome::Whole { task, multi }
+        }
+    }
+}

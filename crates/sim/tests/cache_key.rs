@@ -1,0 +1,246 @@
+//! Property tests for cache-key stability: the canonical point text (and
+//! therefore the content address) is a pure function of the simulated
+//! parameters — identical however the configuration was constructed, and
+//! different whenever any simulated parameter differs.
+
+use proptest::prelude::*;
+use sda_core::{EstimationModel, PspStrategy, SdaStrategy, SspStrategy};
+use sda_sim::cache::{canonical_point, point_key_of};
+use sda_sim::runner::StopRule;
+use sda_sim::{
+    AbortPolicy, Burst, GlobalShape, Placement, ResubmitPolicy, ServiceShape, SimConfig,
+};
+use sda_simcore::dist::Uniform;
+
+/// The generated knobs a test configuration is built from. Everything
+/// here is a *simulated parameter*: changing any field must change the
+/// cache key.
+#[derive(Debug, Clone, PartialEq)]
+struct Knobs {
+    nodes: usize,
+    load: f64,
+    frac_local: f64,
+    shape_n: usize,
+    psp: PspStrategy,
+    ssp: SspStrategy,
+    preemptive: bool,
+    service_shape: ServiceShape,
+    placement: Placement,
+    abort: AbortPolicy,
+    estimation: EstimationModel,
+    burst_boost: Option<f64>,
+    duration: f64,
+}
+
+fn knobs() -> impl Strategy<Value = Knobs> {
+    (
+        (
+            2usize..8,
+            0.05f64..0.9,
+            0.0f64..0.95,
+            2usize..6,
+            prop_oneof![
+                Just(PspStrategy::Ud),
+                (0.25f64..4.0).prop_map(PspStrategy::div),
+                Just(PspStrategy::gf()),
+            ],
+            prop_oneof![
+                Just(SspStrategy::Ud),
+                Just(SspStrategy::Ed),
+                Just(SspStrategy::Eqs),
+                Just(SspStrategy::Eqf),
+            ],
+            any::<bool>(),
+        ),
+        (
+            prop_oneof![
+                Just(ServiceShape::Exponential),
+                Just(ServiceShape::Deterministic),
+                Just(ServiceShape::UniformSpread),
+            ],
+            prop_oneof![
+                Just(Placement::RandomDistinct),
+                Just(Placement::LeastLoaded)
+            ],
+            prop_oneof![
+                Just(AbortPolicy::None),
+                Just(AbortPolicy::ProcessManager),
+                Just(AbortPolicy::LocalScheduler {
+                    resubmit: ResubmitPolicy::Never
+                }),
+                Just(AbortPolicy::LocalScheduler {
+                    resubmit: ResubmitPolicy::OnceWithRealDeadline
+                }),
+            ],
+            prop_oneof![
+                Just(EstimationModel::Exact),
+                (1.1f64..4.0).prop_map(EstimationModel::uniform_factor),
+                (0.3f64..3.0).prop_map(EstimationModel::bias),
+            ],
+            proptest::option::of(1.5f64..8.0),
+            1_000.0f64..50_000.0,
+        ),
+    )
+        .prop_map(
+            |(
+                (nodes, load, frac_local, shape_n, psp, ssp, preemptive),
+                (service_shape, placement, abort, estimation, burst_boost, duration),
+            )| Knobs {
+                nodes,
+                load,
+                frac_local,
+                shape_n: shape_n.min(nodes),
+                psp,
+                ssp,
+                preemptive,
+                service_shape,
+                placement,
+                abort,
+                estimation,
+                burst_boost,
+                duration,
+            },
+        )
+}
+
+/// Builds the configuration from knobs, assigning fields in one order.
+fn build(k: &Knobs) -> SimConfig {
+    SimConfig {
+        nodes: k.nodes,
+        load: k.load,
+        frac_local: k.frac_local,
+        shape: GlobalShape::ParallelFixed { n: k.shape_n },
+        strategy: SdaStrategy {
+            ssp: k.ssp,
+            psp: k.psp,
+        },
+        preemptive: k.preemptive,
+        node_speeds: vec![1.0; k.nodes],
+        service_shape: k.service_shape,
+        placement: k.placement,
+        abort: k.abort,
+        estimation: k.estimation,
+        burst: k.burst_boost.map(|boost| Burst {
+            period: 50.0,
+            on_fraction: 0.25,
+            boost,
+        }),
+        duration: k.duration,
+        warmup: k.duration / 100.0,
+        ..SimConfig::baseline()
+    }
+}
+
+/// Builds the same configuration through a different construction path
+/// (builder methods applied after a differently-ordered literal).
+fn build_other_order(k: &Knobs) -> SimConfig {
+    let base = SimConfig {
+        duration: k.duration,
+        warmup: k.duration / 100.0,
+        estimation: k.estimation,
+        abort: k.abort,
+        placement: k.placement,
+        service_shape: k.service_shape,
+        node_speeds: vec![1.0; k.nodes],
+        preemptive: k.preemptive,
+        shape: GlobalShape::ParallelFixed { n: k.shape_n },
+        frac_local: k.frac_local,
+        nodes: k.nodes,
+        burst: k.burst_boost.map(|boost| Burst {
+            period: 50.0,
+            on_fraction: 0.25,
+            boost,
+        }),
+        ..SimConfig::baseline()
+    };
+    base.with_load(k.load).with_strategy(SdaStrategy {
+        ssp: k.ssp,
+        psp: k.psp,
+    })
+}
+
+fn key(cfg: &SimConfig, seed: u64) -> String {
+    point_key_of(&canonical_point(cfg, seed, &StopRule::FixedReps(2), 2, 64))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The key does not depend on how the config value was constructed.
+    #[test]
+    fn key_is_stable_across_construction_orders(k in knobs(), seed in 0u64..1_000) {
+        prop_assert_eq!(key(&build(&k), seed), key(&build_other_order(&k), seed));
+    }
+
+    /// Changing any single simulated parameter changes the key.
+    #[test]
+    fn key_changes_with_every_parameter(k in knobs(), seed in 0u64..1_000, which in 0usize..10) {
+        let base_key = key(&build(&k), seed);
+        let mut m = k.clone();
+        match which {
+            0 => m.load = (m.load * 0.5) + 0.01,
+            1 => m.nodes += 1,
+            2 => m.frac_local = (m.frac_local * 0.5) + 0.001,
+            3 => m.shape_n += 1,
+            4 => m.preemptive = !m.preemptive,
+            5 => m.duration *= 2.0,
+            6 => {
+                m.psp = match m.psp {
+                    PspStrategy::Ud => PspStrategy::div(1.0),
+                    _ => PspStrategy::Ud,
+                }
+            }
+            7 => {
+                m.ssp = match m.ssp {
+                    SspStrategy::Ud => SspStrategy::Eqf,
+                    _ => SspStrategy::Ud,
+                }
+            }
+            8 => {
+                m.placement = match m.placement {
+                    Placement::RandomDistinct => Placement::LeastLoaded,
+                    Placement::LeastLoaded => Placement::RandomDistinct,
+                }
+            }
+            _ => {
+                m.abort = match m.abort {
+                    AbortPolicy::None => AbortPolicy::ProcessManager,
+                    _ => AbortPolicy::None,
+                }
+            }
+        }
+        // `shape_n` is clamped to `nodes` at build time, so bumping it can
+        // be a no-op; only a knob change that survives the build must
+        // change the key.
+        if build(&m) != build(&k) {
+            prop_assert_ne!(key(&build(&m), seed), base_key);
+        }
+    }
+
+    /// The base seed and the stop rule are part of the key.
+    #[test]
+    fn key_changes_with_seed_and_stop_rule(k in knobs(), seed in 0u64..1_000) {
+        let cfg = build(&k);
+        prop_assert_ne!(key(&cfg, seed), key(&cfg, seed + 1));
+        let fixed = canonical_point(&cfg, seed, &StopRule::FixedReps(2), 2, 64);
+        let more = canonical_point(&cfg, seed, &StopRule::FixedReps(3), 2, 64);
+        let adaptive = canonical_point(&cfg, seed, &StopRule::CiWidth(0.1), 2, 64);
+        prop_assert_ne!(point_key_of(&fixed), point_key_of(&more));
+        prop_assert_ne!(point_key_of(&fixed), point_key_of(&adaptive));
+    }
+
+    /// Slack distributions are simulated parameters too.
+    #[test]
+    fn key_changes_with_slack_bounds(k in knobs(), lo in 0.5f64..2.0, width in 0.1f64..3.0) {
+        let cfg = build(&k);
+        let other = SimConfig {
+            global_slack: Uniform::new(lo, lo + width),
+            ..cfg.clone()
+        };
+        if other.global_slack.lo() != cfg.global_slack.lo()
+            || other.global_slack.hi() != cfg.global_slack.hi()
+        {
+            prop_assert_ne!(key(&cfg, 1), key(&other, 1));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The sweep engine's contract: results bit-identical to the sequential
+//! [`Runner`] at any `jobs` level, duplicates deduplicated, and the
+//! cache making repeat sweeps free.
+
+use std::sync::Arc;
+
+use sda_core::SdaStrategy;
+use sda_sim::{MultiRun, PointCache, Runner, SimConfig, StopRule, Sweep, SweepPoint};
+
+fn quick(load: f64) -> SimConfig {
+    SimConfig {
+        duration: 2_000.0,
+        warmup: 100.0,
+        ..SimConfig::baseline().with_load(load)
+    }
+}
+
+/// A small campaign mixing fixed-rep points, strategies, and an
+/// adaptive point.
+fn campaign() -> Vec<SweepPoint> {
+    let mut points = vec![
+        SweepPoint::new(quick(0.3), 42),
+        SweepPoint::new(quick(0.5), 42).stop(StopRule::FixedReps(3)),
+        SweepPoint::new(quick(0.5).with_strategy(SdaStrategy::ud_div1()), 42),
+        SweepPoint::new(quick(0.7), 42).stop(StopRule::CiWidth(0.9)),
+    ];
+    points.push(SweepPoint::new(quick(0.7), 42).stop(StopRule::BatchMeans { batch_size: 128 }));
+    points
+}
+
+/// Every float in the report, bit-for-bit.
+fn fingerprint(multi: &MultiRun) -> String {
+    let mut out = multi.stats().to_json();
+    for run in multi.runs() {
+        out.push_str(&format!("\nseed={} events={}", run.seed, run.events));
+        for (field, value) in [
+            ("md_global", run.metrics.md_global()),
+            ("md_local", run.metrics.md_local()),
+            ("missed_work", run.metrics.missed_work.fraction()),
+            ("q99", run.metrics.global_response_quantile(0.99)),
+        ] {
+            out.push_str(&format!(" {field}={:016x}", value.to_bits()));
+        }
+    }
+    out
+}
+
+#[test]
+fn sweep_matches_sequential_runner_at_any_jobs_level() {
+    let sequential: Vec<MultiRun> = campaign()
+        .into_iter()
+        .map(|p| {
+            Runner::new(p.cfg)
+                .seed(p.seed)
+                .jobs(1)
+                .stop(p.stop)
+                .execute()
+                .unwrap()
+        })
+        .collect();
+    for jobs in [1, 4] {
+        let swept = Sweep::new()
+            .points(campaign())
+            .jobs(jobs)
+            .execute()
+            .unwrap();
+        assert_eq!(swept.len(), sequential.len());
+        for (point, (a, b)) in sequential.iter().zip(&swept).enumerate() {
+            assert_eq!(
+                fingerprint(a),
+                fingerprint(b),
+                "point {point} diverged at jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn duplicate_points_simulate_once() {
+    let cache = Arc::new(PointCache::in_memory());
+    let point = SweepPoint::new(quick(0.5), 7);
+    let results = Sweep::new()
+        .points([point.clone(), point.clone(), point])
+        .jobs(2)
+        .cache(Arc::clone(&cache))
+        .execute()
+        .unwrap();
+    let report = cache.report();
+    assert_eq!(report.misses, 1, "one unique point simulates once");
+    assert_eq!(report.hits_memory, 2, "duplicates share the result");
+    assert_eq!(fingerprint(&results[0]), fingerprint(&results[1]));
+    assert_eq!(fingerprint(&results[0]), fingerprint(&results[2]));
+}
+
+#[test]
+fn disk_cache_makes_a_second_sweep_all_hits() {
+    let dir = std::env::temp_dir().join(format!("sda-sweep-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold_cache = Arc::new(PointCache::with_dir(&dir).unwrap());
+    let cold = Sweep::new()
+        .points(campaign())
+        .jobs(2)
+        .cache(Arc::clone(&cold_cache))
+        .execute()
+        .unwrap();
+    let report = cold_cache.report();
+    assert_eq!(report.hits(), 0, "cold sweep hits nothing");
+    assert_eq!(report.misses as usize, campaign().len());
+
+    // A fresh cache handle over the same directory: pure disk replay.
+    let warm_cache = Arc::new(PointCache::with_dir(&dir).unwrap());
+    let warm = Sweep::new()
+        .points(campaign())
+        .jobs(2)
+        .cache(Arc::clone(&warm_cache))
+        .execute()
+        .unwrap();
+    let report = warm_cache.report();
+    assert_eq!(report.misses, 0, "warm sweep simulates nothing");
+    assert_eq!(report.hits_disk as usize, campaign().len());
+    assert!((report.hit_rate() - 1.0).abs() < 1e-12);
+
+    for (a, b) in cold.iter().zip(&warm) {
+        assert_eq!(
+            fingerprint(a),
+            fingerprint(b),
+            "cached results are bit-identical"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_cache_still_deduplicates_within_a_sweep() {
+    let point = SweepPoint::new(quick(0.4), 9);
+    let results = Sweep::new()
+        .points([point.clone(), point])
+        .jobs(1)
+        .execute()
+        .unwrap();
+    assert_eq!(fingerprint(&results[0]), fingerprint(&results[1]));
+}

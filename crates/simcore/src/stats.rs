@@ -102,6 +102,25 @@ impl Welford {
         self.max
     }
 
+    /// The raw accumulator state `(count, mean, m2, min, max)`, for
+    /// exact serialization (pair with [`Welford::from_parts`]).
+    pub fn to_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`Welford::to_parts`] output. The
+    /// round-trip is bit-exact; no invariants are re-derived, so only
+    /// feed this values produced by `to_parts`.
+    pub fn from_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Welford {
+        Welford {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &Welford) {
         if other.count == 0 {
@@ -182,6 +201,17 @@ impl MissCounter {
         self.missed += other.missed;
         self.total += other.total;
     }
+
+    /// Rebuilds a counter from its raw `(missed, total)` state, for
+    /// exact serialization round-trips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `missed > total`.
+    pub fn from_parts(missed: u64, total: u64) -> MissCounter {
+        assert!(missed <= total, "missed {missed} exceeds total {total}");
+        MissCounter { missed, total }
+    }
 }
 
 /// Accumulates an amount-weighted miss fraction, e.g. the paper's
@@ -220,6 +250,20 @@ impl WeightedMiss {
     /// Total amount recorded.
     pub fn total(&self) -> f64 {
         self.total_amount
+    }
+
+    /// Amount recorded against missed tasks.
+    pub fn missed_amount(&self) -> f64 {
+        self.missed_amount
+    }
+
+    /// Rebuilds an accumulator from its raw `(missed_amount,
+    /// total_amount)` state, for exact serialization round-trips.
+    pub fn from_parts(missed_amount: f64, total_amount: f64) -> WeightedMiss {
+        WeightedMiss {
+            missed_amount,
+            total_amount,
+        }
     }
 
     /// Merges another accumulator into this one.
@@ -710,6 +754,36 @@ impl Histogram {
         self.bins.len() as f64 * self.bin_width
     }
 
+    /// The raw state `(bin_width, bins, overflow, count)`, for exact
+    /// serialization (pair with [`Histogram::from_parts`]).
+    pub fn to_parts(&self) -> (f64, &[u64], u64, u64) {
+        (self.bin_width, &self.bins, self.overflow, self.count)
+    }
+
+    /// Rebuilds a histogram from [`Histogram::to_parts`] output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is not finite and positive, or if `count`
+    /// disagrees with the sum of `bins` and `overflow`.
+    pub fn from_parts(bin_width: f64, bins: Vec<u64>, overflow: u64, count: u64) -> Histogram {
+        assert!(
+            bin_width.is_finite() && bin_width > 0.0,
+            "invalid bin width {bin_width}"
+        );
+        assert_eq!(
+            bins.iter().sum::<u64>() + overflow,
+            count,
+            "histogram count disagrees with its bins"
+        );
+        Histogram {
+            bin_width,
+            bins,
+            overflow,
+            count,
+        }
+    }
+
     /// Merges another histogram with identical shape into this one.
     ///
     /// # Panics
@@ -789,6 +863,28 @@ impl TimeWeighted {
             self.last_value
         } else {
             (self.area + tail) / span
+        }
+    }
+
+    /// The raw state `(area, last_time, last_value, start)`, for exact
+    /// serialization (pair with [`TimeWeighted::from_parts`]).
+    pub fn to_parts(&self) -> (f64, crate::time::SimTime, f64, crate::time::SimTime) {
+        (self.area, self.last_time, self.last_value, self.start)
+    }
+
+    /// Rebuilds an accumulator from [`TimeWeighted::to_parts`] output.
+    /// The round-trip is bit-exact.
+    pub fn from_parts(
+        area: f64,
+        last_time: crate::time::SimTime,
+        last_value: f64,
+        start: crate::time::SimTime,
+    ) -> TimeWeighted {
+        TimeWeighted {
+            area,
+            last_time,
+            last_value,
+            start,
         }
     }
 
@@ -903,6 +999,33 @@ impl NodeStats {
     /// Finished local jobs observed at this node.
     pub fn locals_finished(&self) -> u64 {
         self.local.total()
+    }
+
+    /// The local-task miss counter (for exact serialization).
+    pub fn local_counter(&self) -> &MissCounter {
+        &self.local
+    }
+
+    /// The time-weighted queue-length accumulator (for exact
+    /// serialization).
+    pub fn queue_stats(&self) -> &TimeWeighted {
+        &self.queue
+    }
+
+    /// Rebuilds node statistics from their component accumulators, for
+    /// exact serialization round-trips.
+    pub fn from_parts(
+        busy: f64,
+        served: u64,
+        local: MissCounter,
+        queue: TimeWeighted,
+    ) -> NodeStats {
+        NodeStats {
+            busy,
+            served,
+            local,
+            queue,
+        }
     }
 }
 
