@@ -74,7 +74,9 @@ fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, ConfigFileErro
 /// (`exponential|deterministic|uniform`), `placement`
 /// (`random|least-loaded`), `burst` (`none` or
 /// `PERIOD,ON_FRACTION,BOOST`), `abort`, `estimation`, `duration`,
-/// `warmup`.
+/// `warmup`, and the fault-injection keys `fault_mttf`, `fault_mttr`,
+/// `fault_crash` (`abort|requeue`), `fault_straggler` (`PROB,FACTOR`),
+/// `fault_comm` (`PROB,MEAN`).
 ///
 /// # Errors
 ///
@@ -179,9 +181,45 @@ pub fn apply_setting(cfg: &mut SimConfig, key: &str, value: &str) -> Result<(), 
                 }
             }
         }
+        "fault_mttf" => cfg.fault.mttf = num(key, value)?,
+        "fault_mttr" => cfg.fault.mttr = num(key, value)?,
+        "fault_crash" => {
+            cfg.fault.crash_policy = match value.to_ascii_lowercase().as_str() {
+                "abort" => sda_sim::CrashPolicy::AbortTask,
+                "requeue" => sda_sim::CrashPolicy::RequeueSubtask,
+                other => {
+                    return Err(ConfigFileError::BadValue {
+                        key: key.to_string(),
+                        message: format!("expected abort or requeue, got {other:?}"),
+                    })
+                }
+            }
+        }
+        "fault_straggler" => {
+            let (prob, factor) = pair(key, value, "PROB,FACTOR")?;
+            cfg.fault.straggler_prob = prob;
+            cfg.fault.straggler_factor = factor;
+        }
+        "fault_comm" => {
+            let (prob, mean) = pair(key, value, "PROB,MEAN")?;
+            cfg.fault.comm_delay_prob = prob;
+            cfg.fault.comm_delay_mean = mean;
+        }
         _ => return Err(ConfigFileError::UnknownKey(key.to_string())),
     }
     Ok(())
+}
+
+/// Parses a two-number comma pair such as `0.05,4` — the shape shared by
+/// `fault_straggler` and `fault_comm`.
+fn pair(key: &str, value: &str, shape: &str) -> Result<(f64, f64), ConfigFileError> {
+    let Some((a, b)) = value.split_once(',') else {
+        return Err(ConfigFileError::BadValue {
+            key: key.to_string(),
+            message: format!("expected `{shape}`, got {value:?}"),
+        });
+    };
+    Ok((num(key, a)?, num(key, b)?))
 }
 
 /// Parses configuration text (the file format) on top of the baseline
@@ -289,6 +327,56 @@ warmup       = 500
         assert_eq!(cfg.node_speeds.len(), 6);
         assert_eq!(cfg.scheduler, sda_sched::Policy::Llf);
         assert_eq!(cfg.service_shape, ServiceShape::Deterministic);
+    }
+
+    #[test]
+    fn fault_keys_apply_and_validate() {
+        let text = "\
+fault_mttf      = 500
+fault_mttr      = 25
+fault_crash     = requeue
+fault_straggler = 0.05, 4
+fault_comm      = 0.02, 0.5
+";
+        let cfg = parse_config_text(text).unwrap();
+        assert_eq!((cfg.fault.mttf, cfg.fault.mttr), (500.0, 25.0));
+        assert_eq!(cfg.fault.crash_policy, sda_sim::CrashPolicy::RequeueSubtask);
+        assert_eq!(
+            (cfg.fault.straggler_prob, cfg.fault.straggler_factor),
+            (0.05, 4.0)
+        );
+        assert_eq!(
+            (cfg.fault.comm_delay_prob, cfg.fault.comm_delay_mean),
+            (0.02, 0.5)
+        );
+        assert!(cfg.fault.any_enabled());
+        assert!(cfg.validate().is_ok());
+        // The baseline stays fault-free.
+        assert!(!parse_config_text("").unwrap().fault.any_enabled());
+    }
+
+    #[test]
+    fn malformed_fault_values_name_their_key() {
+        for bad in [
+            "fault_mttf = soon",
+            "fault_crash = explode",
+            "fault_straggler = 0.05",
+            "fault_straggler = 0.05,many",
+            "fault_comm = always,1",
+        ] {
+            let err = parse_config_text(bad).unwrap_err();
+            let key = bad.split('=').next().unwrap().trim();
+            assert!(
+                matches!(err, ConfigFileError::BadValue { .. }),
+                "{bad:?} -> {err}"
+            );
+            assert!(err.to_string().contains(key), "{bad:?} -> {err}");
+        }
+        // A semantically invalid (negative) rate parses here but is
+        // rejected by SimConfig::validate with the field named.
+        let cfg = parse_config_text("fault_mttf = -1").unwrap();
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("mttf"), "{err}");
     }
 
     #[test]

@@ -53,7 +53,9 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("error: {message}");
-            ExitCode::FAILURE
+            // Exit 2 for usage/configuration errors, matching `repro`:
+            // every error path here names a flag, key, or argument.
+            ExitCode::from(2)
         }
     }
 }
@@ -462,7 +464,13 @@ fn print_help(topic: Option<&str>) {
              \x20 placement = random|least-loaded\n\
              \x20 burst = none|PERIOD,ON_FRACTION,BOOST  (ON/OFF arrival bursts)\n\
              \x20 abort = none|pm|local|local-drop\n\
-             \x20 estimation = exact|factor:F|bias:F|mean:M"
+             \x20 estimation = exact|factor:F|bias:F|mean:M\n\
+             fault injection (all off by default; see also `repro faults`):\n\
+             \x20 fault_mttf = T            mean time to node failure (0 = never)\n\
+             \x20 fault_mttr = T            mean time to repair\n\
+             \x20 fault_crash = abort|requeue   fate of work on a crashed node\n\
+             \x20 fault_straggler = PROB,FACTOR  inflate service times by FACTOR\n\
+             \x20 fault_comm = PROB,MEAN    delay serial hand-offs by Exp(MEAN)"
         );
         return;
     }

@@ -149,6 +149,57 @@ fn bad_input_fails_with_a_message() {
 }
 
 #[test]
+fn usage_errors_exit_2_and_name_the_setting() {
+    let dir = std::env::temp_dir().join("sda-cli-badconf-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, text, needle) in [
+        (
+            "truncated.conf",
+            "fault_straggler = 0.05\n",
+            "fault_straggler",
+        ),
+        ("crash.conf", "fault_crash = explode\n", "fault_crash"),
+        ("mttf.conf", "fault_mttf = -3\nduration = 1000\n", "mttf"),
+        ("syntax.conf", "load 0.5\n", "line 1"),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        let out = sda(&["run", path.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(2), "{name}: usage errors exit 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "{name}: {err}");
+    }
+    // Bad flag values take the same path.
+    let out = sda(&["run", "--seed", "soon"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("seed"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn faulty_run_produces_a_report() {
+    let out = sda(&[
+        "run",
+        "duration=3000",
+        "warmup=50",
+        "fault_mttf=400",
+        "fault_mttr=20",
+        "fault_crash=requeue",
+        "fault_straggler=0.05,4",
+        "fault_comm=0.05,0.5",
+        "--reps",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("MD_global"));
+}
+
+#[test]
 fn trace_out_writes_jobs_invariant_jsonl() {
     let dir = std::env::temp_dir().join("sda-cli-trace-test");
     std::fs::create_dir_all(&dir).unwrap();

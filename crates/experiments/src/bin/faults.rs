@@ -1,0 +1,8 @@
+//! Fault-injection experiment F1: strategy robustness under node
+//! crashes (deterministic at any `SDA_JOBS` level).
+fn main() {
+    let scale = sda_experiments::Scale::from_args();
+    eprintln!("running fault experiment F1 at scale {scale}...");
+    let (table, _) = sda_experiments::faults::mttf_sweep(scale);
+    print!("{table}");
+}

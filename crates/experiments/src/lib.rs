@@ -21,6 +21,7 @@
 //! | Figure 15 (SDA combos on Figure 14 graph) | [`figures::fig15`] | `fig15` |
 //! | §6.1/§7.3 in-text numbers | [`checkpoints::run`] | `checkpoints` |
 //! | Ablations A1–A5 | [`ablations`] | `ablation_*` |
+//! | Fault robustness F1 | [`faults::mttf_sweep`] | `faults` |
 //!
 //! The umbrella binary `repro` runs everything and prints a full report.
 
@@ -32,6 +33,7 @@ pub mod chart;
 pub mod checkpoints;
 pub mod claims;
 pub mod extensions;
+pub mod faults;
 pub mod figures;
 pub mod gantt;
 pub mod repro;

@@ -6,7 +6,7 @@ use std::path::PathBuf;
 
 use crate::run::{cache_report, install, Exec};
 use crate::table::Table;
-use crate::{ablations, checkpoints, claims, extensions, figures, tables, Scale};
+use crate::{ablations, checkpoints, claims, extensions, faults, figures, tables, Scale};
 
 /// Parsed `repro` command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,6 +132,8 @@ pub fn artifacts(scale: Scale) -> Vec<(&'static str, Table)> {
     artifacts.push(("e1_stages", extensions::stage_sweep(scale).0));
     eprintln!("running extension E2...");
     artifacts.push(("e2_slack", extensions::slack_sweep(scale).0));
+    eprintln!("running fault experiment F1...");
+    artifacts.push(("f1_faults", faults::mttf_sweep(scale).0));
 
     // The claim checks re-measure cells from the figures and checkpoints
     // above, so under the sweep engine's cache they render without

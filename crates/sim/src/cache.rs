@@ -49,7 +49,7 @@ use crate::runner::{BatchEstimates, MultiRun, RunResult, StopRule};
 
 /// Version of both the canonical point text and the on-disk value
 /// format. Part of every key: bumping it invalidates all prior entries.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------
 // Canonical serialization and stable hashing
@@ -178,6 +178,25 @@ pub fn canonical_config(cfg: &SimConfig) -> String {
             }
             EstimationModel::Bias { factor } => format!("bias:{}", f(factor)),
             EstimationModel::ClassMean { mean } => format!("class_mean:{}", f(mean)),
+        },
+    );
+    line(
+        "fault",
+        if cfg.fault.any_enabled() {
+            format!(
+                "mttf:{},mttr:{},crash:{},straggler:{}x{},comm:{}~{}",
+                f(cfg.fault.mttf),
+                f(cfg.fault.mttr),
+                cfg.fault.crash_policy.label(),
+                f(cfg.fault.straggler_prob),
+                f(cfg.fault.straggler_factor),
+                f(cfg.fault.comm_delay_prob),
+                f(cfg.fault.comm_delay_mean)
+            )
+        } else {
+            // Every disabled fault configuration simulates identically
+            // (no fault stream is ever drawn), so they all share one key.
+            "none".to_string()
         },
     );
     line("duration", f(cfg.duration));
@@ -329,6 +348,10 @@ pub fn serialize_multi_run(preimage: &str, multi: &MultiRun) -> String {
             m.resubmissions,
             m.preemptions
         ));
+        out.push_str(&format!(
+            "fault_counters {} {} {} {} {}\n",
+            m.node_crashes, m.crash_aborts, m.crash_requeues, m.straggler_inflations, m.comm_delays
+        ));
         out.push_str(&format!("nodes {}\n", run.node_stats.len()));
         for node in &run.node_stats {
             let local = node.local_counter();
@@ -455,6 +478,15 @@ fn parse_run(reader: &mut Reader<'_>, header: &[&str]) -> Option<RunResult> {
     metrics.local_scheduler_aborts = parse_u64(t[2])?;
     metrics.resubmissions = parse_u64(t[3])?;
     metrics.preemptions = parse_u64(t[4])?;
+    let t = reader.tagged("fault_counters")?;
+    if t.len() != 5 {
+        return None;
+    }
+    metrics.node_crashes = parse_u64(t[0])?;
+    metrics.crash_aborts = parse_u64(t[1])?;
+    metrics.crash_requeues = parse_u64(t[2])?;
+    metrics.straggler_inflations = parse_u64(t[3])?;
+    metrics.comm_delays = parse_u64(t[4])?;
 
     let t = reader.tagged("nodes")?;
     let node_count = parse_u64(t.first()?)? as usize;
@@ -558,7 +590,7 @@ pub fn parse_multi_run(text: &str, expected_preimage: &str) -> Option<MultiRun> 
 
 /// Hit/miss accounting of a [`PointCache`], as reported by `repro` and
 /// asserted by the CI cache-smoke job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheReport {
     /// Points resolved from the in-memory map (including points
     /// deduplicated within a single sweep).
@@ -567,6 +599,16 @@ pub struct CacheReport {
     pub hits_disk: u64,
     /// Points that had to be simulated.
     pub misses: u64,
+    /// Cache files that existed but could not be read (IO errors other
+    /// than the file being absent). Each one degraded to recomputation.
+    pub read_errors: u64,
+    /// Computed results that could not be persisted to disk. The result
+    /// itself is unaffected; the next invocation recomputes the point.
+    pub write_errors: u64,
+    /// Cache files that were read but failed verification (version skew,
+    /// truncation, corruption, or preimage mismatch). Each one was
+    /// treated as a miss.
+    pub verify_errors: u64,
 }
 
 impl CacheReport {
@@ -589,6 +631,11 @@ impl CacheReport {
             self.hits() as f64 / self.points() as f64
         }
     }
+
+    /// Total IO/verification errors the cache degraded around.
+    pub fn errors(&self) -> u64 {
+        self.read_errors + self.write_errors + self.verify_errors
+    }
 }
 
 impl std::fmt::Display for CacheReport {
@@ -602,7 +649,18 @@ impl std::fmt::Display for CacheReport {
             self.hits_memory,
             self.hits_disk,
             self.misses
-        )
+        )?;
+        if self.errors() > 0 {
+            write!(
+                f,
+                "; {} cache errors (read {}, write {}, verify {})",
+                self.errors(),
+                self.read_errors,
+                self.write_errors,
+                self.verify_errors
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -620,6 +678,18 @@ pub struct PointCache {
     hits_memory: AtomicU64,
     hits_disk: AtomicU64,
     misses: AtomicU64,
+    read_errors: AtomicU64,
+    write_errors: AtomicU64,
+    verify_errors: AtomicU64,
+}
+
+/// Counts one degraded cache operation, warning on stderr the first time
+/// each category fires (per cache handle) so a sick cache directory is
+/// visible without flooding the log once per point.
+fn count_error(counter: &AtomicU64, what: &str, detail: &dyn std::fmt::Display) {
+    if counter.fetch_add(1, Ordering::Relaxed) == 0 {
+        eprintln!("warning: cache {what} ({detail}); recomputing affected points");
+    }
 }
 
 impl PointCache {
@@ -632,6 +702,9 @@ impl PointCache {
             hits_memory: AtomicU64::new(0),
             hits_disk: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            read_errors: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            verify_errors: AtomicU64::new(0),
         }
     }
 
@@ -669,14 +742,32 @@ impl PointCache {
             }
         }
         if let Some(path) = self.file_of(key) {
-            if let Ok(text) = std::fs::read_to_string(&path) {
-                if let Some(multi) = parse_multi_run(&text, preimage) {
-                    self.hits_disk.fetch_add(1, Ordering::Relaxed);
-                    self.memory
-                        .lock()
-                        .expect("cache map")
-                        .insert(key.to_string(), (preimage.to_string(), multi.clone()));
-                    return Some(multi);
+            match std::fs::read_to_string(&path) {
+                Ok(text) => {
+                    if let Some(multi) = parse_multi_run(&text, preimage) {
+                        self.hits_disk.fetch_add(1, Ordering::Relaxed);
+                        self.memory
+                            .lock()
+                            .expect("cache map")
+                            .insert(key.to_string(), (preimage.to_string(), multi.clone()));
+                        return Some(multi);
+                    }
+                    // The file exists but is not a valid entry for this
+                    // point: corruption, truncation, schema skew, or a
+                    // hash collision. All degrade to a recomputation.
+                    count_error(
+                        &self.verify_errors,
+                        "entry failed verification",
+                        &path.display(),
+                    );
+                }
+                Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+                Err(err) => {
+                    count_error(
+                        &self.read_errors,
+                        "read failed",
+                        &format_args!("{}: {err}", path.display()),
+                    );
                 }
             }
         }
@@ -692,8 +783,10 @@ impl PointCache {
     }
 
     /// Stores a computed result under `key`, in memory and (when
-    /// persistent) on disk via an atomic write-then-rename. Disk errors
-    /// are swallowed: a cache that cannot write degrades to recomputing.
+    /// persistent) on disk via an atomic write-then-rename. A disk error
+    /// never fails the caller — a cache that cannot write degrades to
+    /// recomputing — but it is counted in [`PointCache::report`] and
+    /// warned about once.
     pub fn store(&self, key: &str, preimage: &str, multi: &MultiRun) {
         self.memory
             .lock()
@@ -705,8 +798,13 @@ impl PointCache {
             let written = std::fs::File::create(&tmp)
                 .and_then(|mut file| file.write_all(text.as_bytes()))
                 .and_then(|()| std::fs::rename(&tmp, &path));
-            if written.is_err() {
+            if let Err(err) = written {
                 let _ = std::fs::remove_file(&tmp);
+                count_error(
+                    &self.write_errors,
+                    "write failed",
+                    &format_args!("{}: {err}", path.display()),
+                );
             }
         }
     }
@@ -717,6 +815,9 @@ impl PointCache {
             hits_memory: self.hits_memory.load(Ordering::Relaxed),
             hits_disk: self.hits_disk.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            read_errors: self.read_errors.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            verify_errors: self.verify_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -773,7 +874,7 @@ mod tests {
             2,
             64,
         ));
-        assert_eq!(key, "68a78c88958ee21f68d7bd9e0d19df5a");
+        assert_eq!(key, "e02b39b0339bbac90e578a5e78895be2");
     }
 
     #[test]
@@ -860,7 +961,8 @@ mod tests {
                 CacheReport {
                     hits_memory: 1,
                     hits_disk: 0,
-                    misses: 1
+                    misses: 1,
+                    ..CacheReport::default()
                 }
             );
         }
@@ -869,8 +971,70 @@ mod tests {
         let found = cache.lookup(&key, &preimage).expect("disk hit");
         assert_eq!(found.runs().len(), 2);
         assert_eq!(cache.report().hits_disk, 1);
-        // A different preimage under the same key must miss.
+        // A different preimage under the same key must miss, and the
+        // disagreement is surfaced as a verification error.
         assert!(cache.lookup(&key, "other-point").is_none());
+        assert_eq!(cache.report().verify_errors, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Runs the quick baseline point once, for seeding error-path tests.
+    fn quick_multi(seed: u64) -> MultiRun {
+        crate::Runner::new(quick_cfg())
+            .seed(seed)
+            .stop(StopRule::FixedReps(2))
+            .execute()
+            .unwrap()
+    }
+
+    #[test]
+    fn unwritable_dir_counts_write_error_and_still_serves_memory() {
+        let dir = std::env::temp_dir().join(format!("sda-cache-wtest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = PointCache::with_dir(&dir).unwrap();
+        let preimage = canonical_point(&quick_cfg(), 5, &StopRule::FixedReps(2), 2, 64);
+        let key = point_key_of(&preimage);
+        let multi = quick_multi(5);
+        // Yank the directory out from under the cache: the tmp-file
+        // creation inside store() now fails.
+        std::fs::remove_dir_all(&dir).unwrap();
+        cache.store(&key, &preimage, &multi);
+        assert_eq!(cache.report().write_errors, 1, "store failure is counted");
+        // The in-memory layer still holds the result.
+        assert!(cache.lookup(&key, &preimage).is_some(), "memory unaffected");
+        assert_eq!(cache.report().hits_memory, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_and_unreadable_entries_count_errors_and_miss() {
+        let dir = std::env::temp_dir().join(format!("sda-cache-rtest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = PointCache::with_dir(&dir).unwrap();
+        let preimage = canonical_point(&quick_cfg(), 6, &StopRule::FixedReps(2), 2, 64);
+        let key = point_key_of(&preimage);
+        let path = cache.file_of(&key).unwrap();
+        // A corrupted payload parses to a miss and counts a verify error.
+        std::fs::write(&path, "sda-point-cache garbage\n").unwrap();
+        assert!(cache.lookup(&key, &preimage).is_none());
+        let report = cache.report();
+        assert_eq!((report.verify_errors, report.misses), (1, 1));
+        // An entry that cannot be read at all (here: the path is a
+        // directory) counts a read error and still degrades to a miss.
+        std::fs::remove_file(&path).unwrap();
+        std::fs::create_dir(&path).unwrap();
+        assert!(cache.lookup(&key, &preimage).is_none());
+        let report = cache.report();
+        assert_eq!((report.read_errors, report.misses), (1, 2));
+        assert_eq!(report.errors(), 2);
+        assert!(
+            format!("{report}").contains("2 cache errors (read 1, write 0, verify 1)"),
+            "errors appear in the display line: {report}"
+        );
+        // An absent file is an ordinary miss, not an error.
+        std::fs::remove_dir(&path).unwrap();
+        assert!(cache.lookup(&key, &preimage).is_none());
+        assert_eq!(cache.report().errors(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

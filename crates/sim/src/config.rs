@@ -7,6 +7,8 @@ use sda_model::TaskSpec;
 use sda_sched::Policy;
 use sda_simcore::dist::{Constant, Dist, Exp, Uniform};
 
+use crate::fault::FaultConfig;
+
 /// The shape of the global tasks a run generates.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GlobalShape {
@@ -266,6 +268,9 @@ pub struct SimConfig {
     pub abort: AbortPolicy,
     /// How `pex` predictions are produced for the SSP strategies.
     pub estimation: EstimationModel,
+    /// Fault injection: node crashes, stragglers, and communication
+    /// delays (all disabled by default — the paper's fault-free system).
+    pub fault: FaultConfig,
     /// Simulated duration (the paper: 1,000,000 time units per run).
     pub duration: f64,
     /// Warm-up interval: tasks *arriving* before this time execute but are
@@ -298,6 +303,7 @@ impl SimConfig {
             burst: None,
             abort: AbortPolicy::None,
             estimation: EstimationModel::Exact,
+            fault: FaultConfig::disabled(),
             duration: 200_000.0,
             warmup: 2_000.0,
         }
@@ -417,6 +423,7 @@ impl SimConfig {
         if let Some(burst) = &self.burst {
             burst.validate().map_err(ConfigError::BadBurst)?;
         }
+        self.fault.validate().map_err(ConfigError::BadFault)?;
         if !self.node_speeds.is_empty() {
             if self.node_speeds.len() != self.nodes {
                 return Err(ConfigError::BadNodeSpeeds(format!(
@@ -487,6 +494,8 @@ pub enum ConfigError {
     BadNodeSpeeds(String),
     /// Invalid burstiness parameters.
     BadBurst(String),
+    /// Invalid fault-injection parameters.
+    BadFault(String),
     /// A node's offered load is at or above 1: its queue would grow
     /// without bound even though the system-wide load is below 1.
     NodeSaturated {
@@ -526,6 +535,7 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::BadNodeSpeeds(why) => write!(f, "invalid node speeds: {why}"),
             ConfigError::BadBurst(why) => write!(f, "invalid burstiness: {why}"),
+            ConfigError::BadFault(why) => write!(f, "invalid fault injection: {why}"),
             ConfigError::NodeSaturated { node, rho } => {
                 write!(f, "node {node} is saturated (offered load {rho:.3} >= 1)")
             }

@@ -18,6 +18,7 @@
 //! | [`Simulation`] | the orchestration tying the layers together over the engine |
 //! | [`trace`] | the structured [`trace::TraceSink`] observability pipeline |
 //! | [`runner`] | replications, parallel execution, adaptive stopping, stats |
+//! | [`fault`] | deterministic fault injection: crashes, stragglers, comm delays |
 //! | [`cache`] | content-addressed memoization of completed data points |
 //! | [`sweep`] | campaign-level work-stealing scheduler over many points |
 //!
@@ -42,6 +43,7 @@
 
 pub mod cache;
 mod config;
+pub mod fault;
 mod metrics;
 mod node;
 mod pm;
@@ -56,12 +58,13 @@ pub use config::{
     AbortPolicy, Burst, ConfigError, GlobalShape, Placement, ResubmitPolicy, ServiceShape,
     SimConfig,
 };
+pub use fault::{CrashPolicy, FaultConfig};
 pub use metrics::Metrics;
 pub use runner::{
     seeds, BatchEstimates, MultiRun, NodeSummary, RunResult, Runner, StatsReport, StopRule,
 };
 pub use simulation::{Ev, Simulation};
-pub use sweep::{Sweep, SweepPoint};
+pub use sweep::{RunError, Sweep, SweepPoint};
 pub use trace::{
     parse_jsonl, CountingHandle, CountingSink, FanoutSink, JsonlSink, NoopSink, RingBufferHandle,
     RingBufferSink, SharedSink, TraceCounts, TraceEvent, TraceRecord, TraceSink,

@@ -59,6 +59,17 @@ pub struct Metrics {
     pub resubmissions: u64,
     /// Preemptions performed (preemptive-EDF extension only).
     pub preemptions: u64,
+    /// Node crashes injected (fault extension).
+    pub node_crashes: u64,
+    /// Jobs aborted because their node crashed (AbortTask policy).
+    pub crash_aborts: u64,
+    /// Subtasks requeued from scratch after their node crashed
+    /// (RequeueSubtask policy).
+    pub crash_requeues: u64,
+    /// Jobs whose service demand was inflated by straggler injection.
+    pub straggler_inflations: u64,
+    /// Hand-off releases delayed by communication-fault injection.
+    pub comm_delays: u64,
 }
 
 impl Default for Metrics {
@@ -79,6 +90,11 @@ impl Default for Metrics {
             local_scheduler_aborts: 0,
             resubmissions: 0,
             preemptions: 0,
+            node_crashes: 0,
+            crash_aborts: 0,
+            crash_requeues: 0,
+            straggler_inflations: 0,
+            comm_delays: 0,
         }
     }
 }
@@ -90,17 +106,23 @@ impl Metrics {
     }
 
     /// Records a completed (or aborted) local task.
+    ///
+    /// `work` is clamped at zero: partial-work reconstruction
+    /// (`ex - remaining`, `work_performed`) can cancel to a few negative
+    /// ulps when a job is torn down right after a preemption.
     pub fn record_local(&mut self, missed: bool, work: f64, response: f64) {
         self.local_md.record(missed);
-        self.missed_work.record(work, missed);
+        self.missed_work.record(work.max(0.0), missed);
         self.local_response.push(response);
         self.local_response_hist.record(response.max(0.0));
     }
 
     /// Records a completed (or aborted) global task of `n` subtasks.
+    ///
+    /// `work` is clamped at zero, as in [`Metrics::record_local`].
     pub fn record_global(&mut self, n: u32, missed: bool, work: f64, response: f64) {
         self.global_md.entry(n).or_default().record(missed);
-        self.missed_work.record(work, missed);
+        self.missed_work.record(work.max(0.0), missed);
         self.global_response.push(response);
         self.global_response_hist.record(response.max(0.0));
     }
@@ -213,6 +235,11 @@ impl Metrics {
         self.local_scheduler_aborts += other.local_scheduler_aborts;
         self.resubmissions += other.resubmissions;
         self.preemptions += other.preemptions;
+        self.node_crashes += other.node_crashes;
+        self.crash_aborts += other.crash_aborts;
+        self.crash_requeues += other.crash_requeues;
+        self.straggler_inflations += other.straggler_inflations;
+        self.comm_delays += other.comm_delays;
     }
 }
 

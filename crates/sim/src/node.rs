@@ -112,6 +112,9 @@ pub(crate) struct Node {
     pub current: Option<InService>,
     /// Service speed in work units per time unit (1.0 in the paper).
     pub speed: f64,
+    /// Whether the node is up. Down nodes (crash injection) never
+    /// dispatch; their queues keep accumulating until recovery.
+    pub up: bool,
     /// Busy time, service counts, local misses, queue length.
     pub stats: NodeStats,
 }
@@ -122,6 +125,7 @@ impl Node {
             queue: ReadyQueue::new(policy),
             current: None,
             speed,
+            up: true,
             stats: NodeStats::new(SimTime::ZERO),
         }
     }

@@ -361,6 +361,38 @@ pub(crate) fn run_single(
     seed: u64,
     trace: Option<SharedSink>,
 ) -> Result<RunResult, ConfigError> {
+    run_single_with_budget(cfg, seed, trace, None)?
+        .map_err(|_| unreachable!("no budget, no budget exhaustion"))
+}
+
+/// A replication exceeded its event-count budget (watchdog): the run was
+/// cut off mid-horizon and its partial results discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BudgetExceeded {
+    /// Events processed when the watchdog fired.
+    pub events: u64,
+    /// The configured budget.
+    pub budget: u64,
+}
+
+/// [`run_single`] with an optional event-count watchdog.
+///
+/// With `budget: None` the engine runs the horizon in one call — the
+/// exact pre-watchdog code path. With a budget, the horizon is run in
+/// 256 equal time chunks (chunked [`Engine::run_until`] calls process
+/// the identical event sequence, so results are bit-identical either
+/// way), checking the event count between chunks; a runaway replication
+/// comes back as `Ok(Err(BudgetExceeded))` instead of looping forever.
+///
+/// The outer `Result` is configuration validation; the inner one is the
+/// watchdog verdict.
+pub(crate) fn run_single_with_budget(
+    cfg: &SimConfig,
+    seed: u64,
+    trace: Option<SharedSink>,
+    budget: Option<u64>,
+) -> Result<Result<RunResult, BudgetExceeded>, ConfigError> {
+    test_hooks::check(seed);
     let mut sim = Simulation::new(cfg.clone(), seed)?;
     if let Some(sink) = trace {
         sim.set_sink(Box::new(sink));
@@ -368,7 +400,24 @@ pub(crate) fn run_single(
     let mut engine = Engine::new();
     sim.prime(&mut engine);
     let started = std::time::Instant::now();
-    engine.run_until(&mut sim, SimTime::from(cfg.duration));
+    match budget {
+        None => {
+            engine.run_until(&mut sim, SimTime::from(cfg.duration));
+        }
+        Some(limit) => {
+            const CHUNKS: u32 = 256;
+            for chunk in 1..=CHUNKS {
+                let until = cfg.duration * f64::from(chunk) / f64::from(CHUNKS);
+                engine.run_until(&mut sim, SimTime::from(until));
+                if engine.events_processed() > limit {
+                    return Ok(Err(BudgetExceeded {
+                        events: engine.events_processed(),
+                        budget: limit,
+                    }));
+                }
+            }
+        }
+    }
     let wall_secs = started.elapsed().as_secs_f64();
     if let Some(mut sink) = sim.take_sink() {
         sink.flush();
@@ -381,7 +430,7 @@ pub(crate) fn run_single(
         .iter()
         .map(|s| s.mean_queue_len(SimTime::from(duration)))
         .collect();
-    Ok(RunResult {
+    Ok(Ok(RunResult {
         metrics,
         events,
         busy,
@@ -390,7 +439,38 @@ pub(crate) fn run_single(
         duration,
         seed,
         wall_secs,
-    })
+    }))
+}
+
+/// Test-only fault hooks for the harness itself: lets integration tests
+/// inject a panic into one specific replication to exercise the sweep
+/// engine's isolation. Not part of the public API.
+#[doc(hidden)]
+pub mod test_hooks {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Seed whose replication panics on entry (0 = disabled; seed 0
+    /// itself cannot be targeted, which no test needs).
+    static PANIC_SEED: AtomicU64 = AtomicU64::new(0);
+
+    /// Arms the hook: the next replications running with exactly `seed`
+    /// panic on entry. Use an exotic seed so concurrent tests in the
+    /// same process cannot collide.
+    pub fn panic_on_seed(seed: u64) {
+        PANIC_SEED.store(seed, Ordering::SeqCst);
+    }
+
+    /// Disarms the hook.
+    pub fn clear() {
+        PANIC_SEED.store(0, Ordering::SeqCst);
+    }
+
+    pub(crate) fn check(seed: u64) {
+        let armed = PANIC_SEED.load(Ordering::SeqCst);
+        if armed != 0 && armed == seed {
+            panic!("test hook: injected panic for seed {seed}");
+        }
+    }
 }
 
 /// Batch-means estimates attached to a single-run [`MultiRun`].

@@ -15,6 +15,7 @@ use sda_simcore::stats::NodeStats;
 use sda_simcore::{Engine, Model, SimTime};
 
 use crate::config::{AbortPolicy, ConfigError, ResubmitPolicy, SimConfig};
+use crate::fault::FaultState;
 use crate::metrics::Metrics;
 use crate::node::{InService, Job, LocalJob, Node, SubtaskJob};
 use crate::pm::{LeafState, ProcessManager};
@@ -22,6 +23,7 @@ use crate::trace::{TraceEvent, TraceSink};
 use crate::workload::Workload;
 
 mod abort;
+mod faults;
 
 /// The event alphabet of the system model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +63,30 @@ pub enum Ev {
         /// finished already).
         job_id: u64,
     },
+    /// Fault injection: `node` crashes (scheduled only when crashes are
+    /// enabled).
+    NodeCrash {
+        /// The crashing node.
+        node: usize,
+    },
+    /// Fault injection: a crashed `node` comes back up.
+    NodeRecover {
+        /// The recovering node.
+        node: usize,
+    },
+    /// Fault injection: a hand-off release delayed by a communication
+    /// fault lands. Times are carried as `f64` bits so `Ev` stays `Eq`.
+    CommRelease {
+        /// Slot of the global task the release belongs to.
+        slot: usize,
+        /// The leaf being released.
+        leaf: usize,
+        /// Bits of the release's virtual deadline.
+        deadline_bits: u64,
+        /// Bits of the task's arrival time, guarding against the slot
+        /// having been recycled while the release was in flight.
+        ar_bits: u64,
+    },
 }
 
 /// One run of the distributed soft real-time system.
@@ -73,6 +99,7 @@ pub struct Simulation {
     nodes: Vec<Node>,
     pm: ProcessManager,
     workload: Workload,
+    faults: FaultState,
     metrics: Metrics,
     next_job_id: u64,
     warmup: SimTime,
@@ -117,6 +144,7 @@ impl Simulation {
         cfg.validate()?;
         let base = Rng::seed_from(seed);
         let workload = Workload::new(&cfg, &base);
+        let faults = FaultState::new(cfg.fault, &base);
         let nodes = (0..cfg.nodes)
             .map(|i| {
                 Node::new(
@@ -129,6 +157,7 @@ impl Simulation {
             nodes,
             pm: ProcessManager::new(),
             workload,
+            faults,
             metrics: Metrics::new(),
             next_job_id: 0,
             warmup: SimTime::from(cfg.warmup),
@@ -171,6 +200,14 @@ impl Simulation {
         if self.workload.lambda_global > 0.0 {
             let gap = self.workload.next_global_gap();
             engine.schedule(SimTime::from(gap), Ev::GlobalArrival);
+        }
+        // Crash processes: one per node, primed only when enabled, so a
+        // fault-free run schedules exactly the events it always did.
+        if self.faults.cfg.crash_enabled() {
+            for node in 0..self.cfg.nodes {
+                let gap = self.faults.next_failure_gap();
+                engine.schedule(SimTime::from(gap), Ev::NodeCrash { node });
+            }
         }
     }
 
@@ -223,12 +260,18 @@ impl Simulation {
             }
             _ => None,
         };
+        // Straggler injection inflates the *actual* demand only; the
+        // deadline above was assigned from the nominal demand.
+        let (ex, straggler) = self.faults.straggler_ex(draw.ex);
+        if straggler {
+            self.metrics.straggler_inflations += 1;
+        }
         let job = Job::Local(LocalJob {
             id,
             ar: now,
             dl,
-            ex: draw.ex,
-            remaining: draw.ex,
+            ex,
+            remaining: ex,
             timer,
             counted: now >= self.warmup,
         });
@@ -308,12 +351,22 @@ impl Simulation {
             .expect("slot just filled")
             .decomp
             .start_into(now, dl, &strategy, &mut releases);
-        self.submit_releases(engine, slot, &releases);
+        self.submit_releases(engine, slot, &releases, false);
         releases.clear();
         self.scratch.releases = releases;
     }
 
-    fn submit_releases(&mut self, engine: &mut Engine<Ev>, slot: usize, releases: &[Release]) {
+    /// Submits freshly-released leaves to their nodes. `handoff` marks
+    /// releases triggered by a predecessor's completion (as opposed to
+    /// the first descent at arrival or a fault-delayed re-release) —
+    /// only those are eligible for communication-delay injection.
+    fn submit_releases(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        slot: usize,
+        releases: &[Release],
+        handoff: bool,
+    ) {
         for &release in releases {
             // Submitting an earlier release can abort the whole task
             // re-entrantly (e.g. a local scheduler that aborts on already-
@@ -322,15 +375,40 @@ impl Simulation {
             let Some(g) = self.pm.get_mut(slot) else {
                 return;
             };
+            if handoff {
+                let ar_bits = g.ar.value().to_bits();
+                if let Some(delay) = self.faults.comm_delay() {
+                    // The hand-off message is delayed: the leaf stays
+                    // Unreleased until the CommRelease event lands.
+                    self.metrics.comm_delays += 1;
+                    engine.schedule_after(
+                        delay,
+                        Ev::CommRelease {
+                            slot,
+                            leaf: release.leaf,
+                            deadline_bits: release.deadline.value().to_bits(),
+                            ar_bits,
+                        },
+                    );
+                    continue;
+                }
+            }
             let id = self.next_job_id;
             self.next_job_id += 1;
+            let g = self.pm.get_mut(slot).expect("slot checked live above");
             g.leaf_state[release.leaf] = LeafState::Queued;
             g.leaf_job[release.leaf] = id;
-            let (node, ex, pex) = (
+            let (node, nominal_ex, pex) = (
                 g.leaf_node[release.leaf],
                 g.leaf_ex[release.leaf],
                 g.leaf_pex[release.leaf],
             );
+            // Straggler injection inflates the actual demand; deadlines
+            // and predictions stay nominal.
+            let (ex, straggler) = self.faults.straggler_ex(nominal_ex);
+            if straggler {
+                self.metrics.straggler_inflations += 1;
+            }
             let job = Job::Subtask(SubtaskJob {
                 id,
                 slot,
@@ -417,7 +495,9 @@ impl Simulation {
     /// Idempotent: safe to call on a busy node (abortion handling and
     /// release submission can re-enter it).
     fn dispatch(&mut self, engine: &mut Engine<Ev>, node: usize) {
-        if !self.nodes[node].is_idle() {
+        // A crashed node serves nothing until it recovers; its queue
+        // keeps accumulating.
+        if !self.nodes[node].up || !self.nodes[node].is_idle() {
             return;
         }
         let local_abort = matches!(self.cfg.abort, AbortPolicy::LocalScheduler { .. });
@@ -527,7 +607,7 @@ impl Simulation {
             // A subtask's natural deadline is the global deadline (§4).
             self.metrics.record_subtask(now > dl);
         }
-        self.submit_releases(engine, job.slot, &releases);
+        self.submit_releases(engine, job.slot, &releases, true);
         releases.clear();
         self.scratch.releases = releases;
         if finished {
@@ -572,6 +652,14 @@ impl Model for Simulation {
             Ev::InServiceDeadline { node, job_id } => {
                 self.on_in_service_deadline(engine, node, job_id)
             }
+            Ev::NodeCrash { node } => self.on_node_crash(engine, node),
+            Ev::NodeRecover { node } => self.on_node_recover(engine, node),
+            Ev::CommRelease {
+                slot,
+                leaf,
+                deadline_bits,
+                ar_bits,
+            } => self.on_comm_release(engine, slot, leaf, deadline_bits, ar_bits),
         }
         // Close the queue-length accounting window at the current time for
         // any node whose queue changed (cheap: k is small, and update is a

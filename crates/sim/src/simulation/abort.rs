@@ -75,7 +75,8 @@ impl Simulation {
 
     /// Tears down a global task: every unfinished subtask is removed from
     /// its queue or cancelled mid-service; the task records as missed.
-    fn abort_global(&mut self, engine: &mut Engine<Ev>, slot: usize) {
+    /// Also reached from the crash-injection path ([`super::faults`]).
+    pub(super) fn abort_global(&mut self, engine: &mut Engine<Ev>, slot: usize) {
         let now = engine.now();
         let mut g = self.pm.finish(slot);
         if let Some(timer) = g.pm_timer.take() {

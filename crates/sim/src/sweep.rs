@@ -41,7 +41,9 @@ use sda_simcore::rng::derive_seed;
 
 use crate::cache::{canonical_point, point_key_of, PointCache};
 use crate::config::{ConfigError, SimConfig};
-use crate::runner::{run_single, MultiRun, Runner, StopRule, DEFAULT_MAX_REPS, DEFAULT_MIN_REPS};
+use crate::runner::{
+    run_single_with_budget, MultiRun, Runner, StopRule, DEFAULT_MAX_REPS, DEFAULT_MIN_REPS,
+};
 
 /// One data point of a sweep: a configuration, the base seed its
 /// replication seeds derive from, and the stopping rule.
@@ -103,7 +105,7 @@ enum Unit {
 }
 
 /// The result of one executed unit. The per-replication result is boxed
-/// so the two variants are close in size (a `RunResult` carries the full
+/// so the variants are close in size (a `RunResult` carries the full
 /// per-node statistics block).
 enum Outcome {
     Rep {
@@ -115,7 +117,127 @@ enum Outcome {
         task: usize,
         multi: MultiRun,
     },
+    /// The unit died (panic) or was cut off (event budget); the error is
+    /// attributed to its task at reassembly.
+    Failed {
+        task: usize,
+        error: UnitError,
+    },
 }
+
+/// A per-unit failure, before it is attributed to a point index.
+#[derive(Debug, Clone)]
+enum UnitError {
+    Panic {
+        rep: usize,
+        seed: u64,
+        message: String,
+    },
+    Budget {
+        rep: usize,
+        seed: u64,
+        events: u64,
+        budget: u64,
+    },
+}
+
+impl UnitError {
+    fn rep(&self) -> usize {
+        match self {
+            UnitError::Panic { rep, .. } | UnitError::Budget { rep, .. } => *rep,
+        }
+    }
+
+    fn at_point(&self, point: usize) -> RunError {
+        match self.clone() {
+            UnitError::Panic { rep, seed, message } => RunError::Panic {
+                point,
+                rep,
+                seed,
+                message,
+            },
+            UnitError::Budget {
+                rep,
+                seed,
+                events,
+                budget,
+            } => RunError::Budget {
+                point,
+                rep,
+                seed,
+                events,
+                budget,
+            },
+        }
+    }
+}
+
+/// Why a point of a [`Sweep`] failed — returned per point by
+/// [`Sweep::try_execute`], so one poisoned replication degrades that
+/// point instead of killing the whole campaign.
+///
+/// `rep`/`seed` name the failing replication. For adaptive points
+/// ([`StopRule::CiWidth`], [`StopRule::BatchMeans`]) the whole point
+/// runs as one unit, so `rep` is 0 and `seed` is the point's *base*
+/// seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The replication panicked; the panic payload is in `message`.
+    Panic {
+        /// Index of the failed point in the sweep's point list.
+        point: usize,
+        /// Replication index within the point.
+        rep: usize,
+        /// The seed the replication ran with.
+        seed: u64,
+        /// The panic message.
+        message: String,
+    },
+    /// The replication exceeded the sweep's event budget
+    /// ([`Sweep::event_budget`]) — a runaway simulation converted into a
+    /// structured result.
+    Budget {
+        /// Index of the failed point in the sweep's point list.
+        point: usize,
+        /// Replication index within the point.
+        rep: usize,
+        /// The seed the replication ran with.
+        seed: u64,
+        /// Events processed when the watchdog fired.
+        events: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Panic {
+                point,
+                rep,
+                seed,
+                message,
+            } => write!(
+                f,
+                "point {point} rep {rep} (seed {seed}) panicked: {message}"
+            ),
+            RunError::Budget {
+                point,
+                rep,
+                seed,
+                events,
+                budget,
+            } => write!(
+                f,
+                "point {point} rep {rep} (seed {seed}) exceeded the event budget \
+                 ({events} events > {budget})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
 
 /// Builds and executes a campaign of points over one work-stealing
 /// worker pool. See the [module docs](self).
@@ -126,6 +248,7 @@ pub struct Sweep {
     cache: Option<Arc<PointCache>>,
     min_reps: usize,
     max_reps: usize,
+    event_budget: Option<u64>,
 }
 
 impl Default for Sweep {
@@ -143,6 +266,7 @@ impl Sweep {
             cache: None,
             min_reps: DEFAULT_MIN_REPS,
             max_reps: DEFAULT_MAX_REPS,
+            event_budget: None,
         }
     }
 
@@ -187,6 +311,18 @@ impl Sweep {
         self
     }
 
+    /// Arms a per-replication event-count watchdog: a fixed replication
+    /// that processes more than `budget` engine events is cut off and
+    /// its point fails with [`RunError::Budget`] instead of hanging the
+    /// campaign. Adaptive points run under panic isolation only.
+    ///
+    /// Not part of the cache key — the budget cannot change the result
+    /// of a replication that completes within it.
+    pub fn event_budget(mut self, budget: u64) -> Sweep {
+        self.event_budget = Some(budget);
+        self
+    }
+
     /// Worker-thread count for a given unit count.
     fn effective_jobs(&self, units: usize) -> usize {
         let jobs = if self.jobs > 0 {
@@ -209,8 +345,37 @@ impl Sweep {
     /// # Panics
     ///
     /// Panics if a point asks for zero replications
-    /// ([`StopRule::FixedReps`]`(0)`) or if a worker thread panics.
+    /// ([`StopRule::FixedReps`]`(0)`), or if any replication fails
+    /// (panics or blows the event budget) — use [`Sweep::try_execute`]
+    /// to degrade gracefully instead.
     pub fn execute(&self) -> Result<Vec<MultiRun>, ConfigError> {
+        Ok(self
+            .try_execute()?
+            .into_iter()
+            .map(|point| point.unwrap_or_else(|e| panic!("sweep replication failed: {e}")))
+            .collect())
+    }
+
+    /// [`Sweep::execute`] with graceful degradation: each point resolves
+    /// independently to a result or a structured [`RunError`] naming the
+    /// failed point, replication, and seed. A panicking or runaway
+    /// replication poisons only the points sharing its task; every other
+    /// point completes, and the output stays in point order (failures
+    /// are attributed deterministically — the lowest failing replication
+    /// index wins — regardless of worker timing).
+    ///
+    /// Failed points are never stored into the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first configuration validation error before starting
+    /// any simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a point asks for zero replications
+    /// ([`StopRule::FixedReps`]`(0)`).
+    pub fn try_execute(&self) -> Result<Vec<Result<MultiRun, RunError>>, ConfigError> {
         for point in &self.points {
             point.cfg.validate()?;
         }
@@ -287,14 +452,24 @@ impl Sweep {
         let mut slots: Vec<Vec<Option<crate::runner::RunResult>>> =
             tasks.iter().map(|t| vec![None; t.units]).collect();
         let mut wholes: Vec<Option<MultiRun>> = tasks.iter().map(|_| None).collect();
+        let mut failures: Vec<Vec<UnitError>> = tasks.iter().map(|_| Vec::new()).collect();
         for outcome in outcomes {
             match outcome {
                 Outcome::Rep { task, rep, result } => slots[task][rep] = Some(*result),
                 Outcome::Whole { task, multi } => wholes[task] = Some(multi),
+                Outcome::Failed { task, error } => failures[task].push(error),
             }
         }
-        let mut computed = Vec::with_capacity(tasks.len());
+        let mut computed: Vec<Result<MultiRun, UnitError>> = Vec::with_capacity(tasks.len());
         for (index, task) in tasks.iter().enumerate() {
+            if !failures[index].is_empty() {
+                // Outcomes arrive in worker-completion order; report the
+                // lowest failing replication so the error is the same at
+                // any jobs level. The failed task is not cached.
+                failures[index].sort_by_key(UnitError::rep);
+                computed.push(Err(failures[index].remove(0)));
+                continue;
+            }
             let multi = match task.stop {
                 StopRule::FixedReps(_) => {
                     let runs = slots[index]
@@ -310,15 +485,19 @@ impl Sweep {
             if let Some(cache) = &self.cache {
                 cache.store(&task.address.0, &task.address.1, &multi);
             }
-            computed.push(multi);
+            computed.push(Ok(multi));
         }
 
         // Hand results back in point order.
         Ok(plans
             .into_iter()
-            .map(|plan| match plan {
-                Plan::Cached(multi) => multi,
-                Plan::Compute(task) | Plan::Shared(task) => computed[task].clone(),
+            .enumerate()
+            .map(|(point, plan)| match plan {
+                Plan::Cached(multi) => Ok(multi),
+                Plan::Compute(task) | Plan::Shared(task) => match &computed[task] {
+                    Ok(multi) => Ok(multi.clone()),
+                    Err(error) => Err(error.at_point(point)),
+                },
             })
             .collect())
     }
@@ -376,27 +555,80 @@ impl Sweep {
 }
 
 /// Executes one unit. Configurations were validated up front, so
-/// simulation cannot fail here.
+/// simulation itself cannot fail — but the unit is isolated with
+/// [`std::panic::catch_unwind`] so a poisoned replication (a model bug,
+/// a fault-injection edge case) degrades into an [`Outcome::Failed`]
+/// instead of tearing down the worker pool.
 fn run_unit(tasks: &[Task], unit: &Unit, sweep: &Sweep) -> Outcome {
     match *unit {
-        Unit::Rep { task, rep, seed } => Outcome::Rep {
-            task,
-            rep,
-            result: Box::new(run_single(&tasks[task].cfg, seed, None).expect("config validated")),
-        },
+        Unit::Rep { task, rep, seed } => {
+            let cfg = &tasks[task].cfg;
+            let budget = sweep.event_budget;
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_single_with_budget(cfg, seed, None, budget).expect("config validated")
+            }));
+            match caught {
+                Ok(Ok(result)) => Outcome::Rep {
+                    task,
+                    rep,
+                    result: Box::new(result),
+                },
+                Ok(Err(exceeded)) => Outcome::Failed {
+                    task,
+                    error: UnitError::Budget {
+                        rep,
+                        seed,
+                        events: exceeded.events,
+                        budget: exceeded.budget,
+                    },
+                },
+                Err(payload) => Outcome::Failed {
+                    task,
+                    error: UnitError::Panic {
+                        rep,
+                        seed,
+                        message: panic_message(payload.as_ref()),
+                    },
+                },
+            }
+        }
         Unit::Whole { task } => {
             let spec = &tasks[task];
             // jobs(1): this worker IS the parallelism; nesting another
             // pool inside a pool would oversubscribe the machine.
-            let multi = Runner::new(spec.cfg.clone())
-                .seed(spec.seed)
-                .jobs(1)
-                .stop(spec.stop)
-                .min_reps(sweep.min_reps)
-                .max_reps(sweep.max_reps)
-                .execute()
-                .expect("config validated");
-            Outcome::Whole { task, multi }
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Runner::new(spec.cfg.clone())
+                    .seed(spec.seed)
+                    .jobs(1)
+                    .stop(spec.stop)
+                    .min_reps(sweep.min_reps)
+                    .max_reps(sweep.max_reps)
+                    .execute()
+                    .expect("config validated")
+            }));
+            match caught {
+                Ok(multi) => Outcome::Whole { task, multi },
+                Err(payload) => Outcome::Failed {
+                    task,
+                    error: UnitError::Panic {
+                        rep: 0,
+                        seed: spec.seed,
+                        message: panic_message(payload.as_ref()),
+                    },
+                },
+            }
         }
+    }
+}
+
+/// Extracts a human-readable message from a panic payload (`&str` and
+/// `String` cover everything `panic!` produces).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }

@@ -98,6 +98,16 @@ pub enum TraceEvent {
         /// Whether it missed its deadline (aborted counts as missed).
         missed: bool,
     },
+    /// Fault injection: a node crashed.
+    NodeCrashed {
+        /// The crashed node.
+        node: usize,
+    },
+    /// Fault injection: a crashed node came back up.
+    NodeRecovered {
+        /// The recovered node.
+        node: usize,
+    },
 }
 
 impl TraceEvent {
@@ -113,12 +123,14 @@ impl TraceEvent {
             TraceEvent::Preempted { .. } => "preempted",
             TraceEvent::LocalFinished { .. } => "local_finished",
             TraceEvent::GlobalFinished { .. } => "global_finished",
+            TraceEvent::NodeCrashed { .. } => "node_crashed",
+            TraceEvent::NodeRecovered { .. } => "node_recovered",
         }
     }
 
     /// All event-kind names, in declaration order (the [`CountingSink`]
     /// report order).
-    pub const KINDS: [&'static str; 8] = [
+    pub const KINDS: [&'static str; 10] = [
         "local_arrived",
         "global_arrived",
         "subtask_submitted",
@@ -127,6 +139,8 @@ impl TraceEvent {
         "preempted",
         "local_finished",
         "global_finished",
+        "node_crashed",
+        "node_recovered",
     ];
 
     fn kind_index(&self) -> usize {
@@ -139,6 +153,8 @@ impl TraceEvent {
             TraceEvent::Preempted { .. } => 5,
             TraceEvent::LocalFinished { .. } => 6,
             TraceEvent::GlobalFinished { .. } => 7,
+            TraceEvent::NodeCrashed { .. } => 8,
+            TraceEvent::NodeRecovered { .. } => 9,
         }
     }
 }
@@ -204,6 +220,9 @@ impl TraceRecord {
             TraceEvent::GlobalFinished { slot, missed } => {
                 format!("{{\"t\":{t},\"event\":\"{kind}\",\"slot\":{slot},\"missed\":{missed}}}")
             }
+            TraceEvent::NodeCrashed { node } | TraceEvent::NodeRecovered { node } => {
+                format!("{{\"t\":{t},\"event\":\"{kind}\",\"node\":{node}}}")
+            }
         }
     }
 
@@ -249,6 +268,12 @@ impl TraceRecord {
             "global_finished" => TraceEvent::GlobalFinished {
                 slot: json_u64(line, "slot")? as usize,
                 missed: json_bool(line, "missed")?,
+            },
+            "node_crashed" => TraceEvent::NodeCrashed {
+                node: json_u64(line, "node")? as usize,
+            },
+            "node_recovered" => TraceEvent::NodeRecovered {
+                node: json_u64(line, "node")? as usize,
             },
             _ => return None,
         };
@@ -439,7 +464,7 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
 /// Per-kind event counts observed by a [`CountingSink`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TraceCounts {
-    counts: [u64; 8],
+    counts: [u64; 10],
 }
 
 impl TraceCounts {

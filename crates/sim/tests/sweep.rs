@@ -5,7 +5,10 @@
 use std::sync::Arc;
 
 use sda_core::SdaStrategy;
-use sda_sim::{MultiRun, PointCache, Runner, SimConfig, StopRule, Sweep, SweepPoint};
+use sda_sim::{
+    CrashPolicy, FaultConfig, MultiRun, PointCache, RunError, Runner, SimConfig, StopRule, Sweep,
+    SweepPoint,
+};
 
 fn quick(load: f64) -> SimConfig {
     SimConfig {
@@ -140,4 +143,174 @@ fn no_cache_still_deduplicates_within_a_sweep() {
         .execute()
         .unwrap();
     assert_eq!(fingerprint(&results[0]), fingerprint(&results[1]));
+}
+
+/// A configuration with every fault class enabled.
+fn faulty(load: f64) -> SimConfig {
+    SimConfig {
+        fault: FaultConfig {
+            mttf: 400.0,
+            mttr: 20.0,
+            crash_policy: CrashPolicy::RequeueSubtask,
+            straggler_prob: 0.05,
+            straggler_factor: 4.0,
+            comm_delay_prob: 0.1,
+            comm_delay_mean: 0.5,
+        },
+        ..quick(load)
+    }
+}
+
+#[test]
+fn faulty_sweeps_are_jobs_invariant_and_cache_replayable() {
+    let dir = std::env::temp_dir().join(format!("sda-sweep-fault-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let points = || {
+        vec![
+            SweepPoint::new(faulty(0.5), 42),
+            SweepPoint::new(
+                SimConfig {
+                    fault: FaultConfig {
+                        crash_policy: CrashPolicy::AbortTask,
+                        ..faulty(0.5).fault
+                    },
+                    ..faulty(0.5)
+                },
+                42,
+            ),
+        ]
+    };
+    let cold_cache = Arc::new(PointCache::with_dir(&dir).unwrap());
+    let cold = Sweep::new()
+        .points(points())
+        .jobs(1)
+        .cache(Arc::clone(&cold_cache))
+        .execute()
+        .unwrap();
+    // Faults actually fired, and the two crash policies diverge.
+    let crashes: u64 = cold[0].runs().iter().map(|r| r.metrics.node_crashes).sum();
+    assert!(crashes > 0, "MTTF 400 over 2000 time units must crash");
+    assert_ne!(fingerprint(&cold[0]), fingerprint(&cold[1]));
+    // Identical bytes at a different jobs level: the fault streams are
+    // drawn per replication, not from shared worker state.
+    let parallel = Sweep::new().points(points()).jobs(4).execute().unwrap();
+    for (a, b) in cold.iter().zip(&parallel) {
+        assert_eq!(fingerprint(a), fingerprint(b), "faulty run diverged");
+    }
+    // And a warm disk replay reproduces the same bytes without
+    // simulating.
+    let warm_cache = Arc::new(PointCache::with_dir(&dir).unwrap());
+    let warm = Sweep::new()
+        .points(points())
+        .jobs(2)
+        .cache(Arc::clone(&warm_cache))
+        .execute()
+        .unwrap();
+    assert_eq!(warm_cache.report().misses, 0);
+    for (a, b) in cold.iter().zip(&warm) {
+        assert_eq!(fingerprint(a), fingerprint(b), "cache replay diverged");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_panicking_replication_fails_its_point_and_spares_the_others() {
+    // An exotic base seed no other test uses: the armed panic seed is
+    // process-global, and sibling tests run concurrently.
+    let base = 0x00AD_BEEF_FA17_0001;
+    let armed = sda_sim::seeds(base, 2)[1];
+    sda_sim::runner::test_hooks::panic_on_seed(armed);
+    let points = vec![
+        SweepPoint::new(quick(0.3), 42),
+        SweepPoint::new(quick(0.45), base),
+        SweepPoint::new(quick(0.6), 42),
+    ];
+    let results = Sweep::new()
+        .points(points.clone())
+        .jobs(4)
+        .try_execute()
+        .unwrap();
+    sda_sim::runner::test_hooks::clear();
+    assert_eq!(results.len(), 3, "every point reports, pass or fail");
+    let error = results[1].as_ref().expect_err("armed point must fail");
+    match error {
+        RunError::Panic {
+            point,
+            rep,
+            seed,
+            message,
+        } => {
+            assert_eq!((*point, *rep, *seed), (1, 1, armed));
+            assert!(message.contains("injected panic"), "{message}");
+        }
+        other => panic!("expected a panic error, got {other}"),
+    }
+    let shown = error.to_string();
+    assert!(
+        shown.contains("point 1") && shown.contains("rep 1"),
+        "{shown}"
+    );
+    // The sibling points completed normally, bit-identical to a clean
+    // sequential run.
+    for index in [0, 2] {
+        let clean = Runner::new(points[index].cfg.clone())
+            .seed(points[index].seed)
+            .jobs(1)
+            .stop(points[index].stop)
+            .execute()
+            .unwrap();
+        let survived = results[index].as_ref().expect("sibling completes");
+        assert_eq!(fingerprint(&clean), fingerprint(survived));
+    }
+    // The strict entry point turns the structured error into a panic.
+    sda_sim::runner::test_hooks::panic_on_seed(armed);
+    let strict = std::panic::catch_unwind(|| {
+        Sweep::new()
+            .points(vec![SweepPoint::new(quick(0.45), base)])
+            .jobs(1)
+            .execute()
+    });
+    sda_sim::runner::test_hooks::clear();
+    assert!(strict.is_err(), "execute() panics on a failed point");
+}
+
+#[test]
+fn an_event_budget_fails_runaway_points_deterministically() {
+    let results = Sweep::new()
+        .points(vec![
+            SweepPoint::new(quick(0.5), 42),
+            SweepPoint::new(quick(0.5).with_load(0.8), 42),
+        ])
+        .jobs(2)
+        .event_budget(500)
+        .try_execute()
+        .unwrap();
+    for (index, point) in results.iter().enumerate() {
+        match point.as_ref().expect_err("500 events is far too few") {
+            RunError::Budget {
+                point,
+                rep,
+                events,
+                budget,
+                ..
+            } => {
+                assert_eq!((*point, *rep), (index, 0), "lowest rep reports");
+                assert!(*events > 500 && *budget == 500);
+            }
+            other => panic!("expected a budget error, got {other}"),
+        }
+    }
+    // A generous budget changes nothing about the results.
+    let roomy = Sweep::new()
+        .points(vec![SweepPoint::new(quick(0.5), 42)])
+        .jobs(1)
+        .event_budget(10_000_000)
+        .execute()
+        .unwrap();
+    let unbudgeted = Sweep::new()
+        .points(vec![SweepPoint::new(quick(0.5), 42)])
+        .jobs(1)
+        .execute()
+        .unwrap();
+    assert_eq!(fingerprint(&roomy[0]), fingerprint(&unbudgeted[0]));
 }

@@ -51,6 +51,8 @@ fn samples() -> Vec<TraceRecord> {
                 missed: false,
             },
         ),
+        TraceRecord::new(t(7.5), TraceEvent::NodeCrashed { node: 2 }),
+        TraceRecord::new(t(8.0), TraceEvent::NodeRecovered { node: 2 }),
     ]
 }
 
@@ -160,8 +162,8 @@ fn counting_sink_tallies_kinds() {
     assert_eq!(counts.get("service_started"), 2);
     assert_eq!(counts.get("preempted"), 1);
     assert_eq!(counts.get("no_such_kind"), 0);
-    assert_eq!(counts.total(), 9);
-    assert_eq!(counts.entries().count(), 8);
+    assert_eq!(counts.total(), 11);
+    assert_eq!(counts.entries().count(), 10);
 }
 
 #[test]
@@ -186,7 +188,7 @@ fn fanout_feeds_every_child() {
     }
     fan.flush();
     assert_eq!(ha.counts(), hb.counts());
-    assert_eq!(ha.counts().total(), 8);
+    assert_eq!(ha.counts().total(), 10);
 }
 
 #[test]
@@ -226,5 +228,5 @@ fn closures_are_sinks() {
         }
     }
     hits += *counter.lock().unwrap();
-    assert_eq!(hits, 8);
+    assert_eq!(hits, 10);
 }

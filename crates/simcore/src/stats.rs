@@ -231,7 +231,7 @@ impl WeightedMiss {
     /// Records `amount` units of work belonging to a task that
     /// missed (`missed = true`) or met its deadline.
     pub fn record(&mut self, amount: f64, missed: bool) {
-        debug_assert!(amount >= 0.0);
+        debug_assert!(amount >= 0.0, "negative work amount {amount:e}");
         self.total_amount += amount;
         if missed {
             self.missed_amount += amount;
